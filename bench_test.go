@@ -1,0 +1,537 @@
+// The benchmark harness: one benchmark per reconstructed table/figure of
+// the paper's evaluation (E1–E8 in DESIGN.md), plus microbenchmarks of the
+// analysis hot paths. Each experiment benchmark reports its headline
+// numbers as custom metrics so `go test -bench` output doubles as the
+// experiment record; the full formatted tables come from cmd/delaycmp.
+package repro
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/analog"
+	"repro/internal/charlib"
+	"repro/internal/core"
+	"repro/internal/delay"
+	"repro/internal/experiments"
+	"repro/internal/gen"
+	"repro/internal/stage"
+	"repro/internal/switchsim"
+	"repro/internal/tech"
+)
+
+var (
+	tablesOnce sync.Once
+	charTables *delay.Tables
+)
+
+// tables returns the characterized tables for nMOS, computed once.
+func tables(b *testing.B) *delay.Tables {
+	b.Helper()
+	tablesOnce.Do(func() {
+		tb, err := charlib.Default(tech.NMOS4())
+		if err != nil {
+			panic(fmt.Sprintf("characterization failed: %v", err))
+		}
+		charTables = tb
+	})
+	return charTables
+}
+
+// meanAbsErr computes the mean absolute percent error of one model over a
+// set of accuracy rows.
+func meanAbsErr(rows []experiments.AccuracyRow, model string) float64 {
+	s := 0.0
+	for _, r := range rows {
+		s += math.Abs(r.Err(model))
+	}
+	return s / float64(len(rows))
+}
+
+// BenchmarkE1SlopeTables regenerates the slope-model characterization
+// curves (figure E1): the cost of one full table build, with the measured
+// step resistance reported.
+func BenchmarkE1SlopeTables(b *testing.B) {
+	p := tech.NMOS4()
+	var tb *delay.Tables
+	for i := 0; i < b.N; i++ {
+		var err error
+		tb, err = charlib.Characterize(p, charlib.Options{Ratios: []float64{0, 1, 4, 16}})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(tb.RSquare[tech.NEnh][tech.Fall], "Ωsq-nenh-fall")
+	b.ReportMetric(tb.Curve(tech.NEnh, tech.Fall).MultAt(16), "rmult@16")
+}
+
+// BenchmarkE2ModelAccuracy reproduces the accuracy table (E2): all suite
+// circuits under all three models versus the analog reference. Reported
+// metrics are the per-model mean |error| in percent — the paper's headline
+// comparison (slope ≈ 10–15%, lumped several times worse).
+func BenchmarkE2ModelAccuracy(b *testing.B) {
+	p := tech.NMOS4()
+	tb := tables(b)
+	var rows []experiments.AccuracyRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.E2ModelAccuracy(p, tb)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, m := range []string{"lumped", "rc", "slope"} {
+		b.ReportMetric(meanAbsErr(rows, m), "%err-"+m)
+	}
+}
+
+// BenchmarkE2ModelAccuracyCMOS repeats the accuracy table in the 3 µm
+// complementary process: the model ranking must be technology-independent.
+func BenchmarkE2ModelAccuracyCMOS(b *testing.B) {
+	p := tech.CMOS3()
+	tb, err := charlib.Default(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rows []experiments.AccuracyRow
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.E2ModelAccuracy(p, tb)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, m := range []string{"lumped", "rc", "slope"} {
+		b.ReportMetric(meanAbsErr(rows, m), "%err-"+m)
+	}
+}
+
+// BenchmarkE3PassChains reproduces the pass-chain scaling table (E3).
+// The reported lumped/rc ratio at n=8 exhibits the lumped model's
+// quadratic pessimism (→ 2 as n grows).
+func BenchmarkE3PassChains(b *testing.B) {
+	p := tech.NMOS4()
+	tb := tables(b)
+	var rows []experiments.AccuracyRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.E3PassChains(p, tb, []int{1, 2, 4, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := rows[len(rows)-1]
+	b.ReportMetric(last.Model["lumped"]/last.Model["rc"], "lumped/rc@n8")
+	b.ReportMetric(meanAbsErr(rows, "rc"), "%err-rc")
+	b.ReportMetric(meanAbsErr(rows, "lumped"), "%err-lumped")
+}
+
+// BenchmarkE4Fanout reproduces the delay-versus-fanout figure (E4): delay
+// linear in load for models and reference alike. The linearity metric is
+// the reference delay-per-load between the extreme points.
+func BenchmarkE4Fanout(b *testing.B) {
+	p := tech.NMOS4()
+	tb := tables(b)
+	var rows []experiments.AccuracyRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.E4Fanout(p, tb, []int{1, 4, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	slope := (last.Analog - first.Analog) / (last.X - first.X)
+	b.ReportMetric(slope*1e12, "ps-per-load")
+	b.ReportMetric(meanAbsErr(rows, "slope"), "%err-slope")
+}
+
+// BenchmarkE5InputSlope reproduces the delay-versus-input-slope figure
+// (E5): only the slope model follows the reference.
+func BenchmarkE5InputSlope(b *testing.B) {
+	p := tech.NMOS4()
+	tb := tables(b)
+	var rows []experiments.AccuracyRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.E5InputSlope(p, tb, []float64{0.1e-9, 4e-9, 20e-9})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(meanAbsErr(rows, "slope"), "%err-slope")
+	b.ReportMetric(meanAbsErr(rows, "rc"), "%err-rc")
+}
+
+// BenchmarkE6Throughput reproduces the verifier capacity table (E6): the
+// standard block set analyzed under the slope model; reported metric is
+// aggregate transistors per second of analysis.
+func BenchmarkE6Throughput(b *testing.B) {
+	p := tech.NMOS4()
+	tb := tables(b)
+	var rows []experiments.ThroughputRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.E6Throughput(p, tb, "slope")
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	totalTrans, totalWall := 0.0, 0.0
+	for _, r := range rows {
+		totalTrans += float64(r.Trans)
+		totalWall += r.Wall.Seconds()
+	}
+	b.ReportMetric(totalTrans/totalWall, "trans/s")
+	b.ReportMetric(float64(len(rows)), "blocks")
+}
+
+// BenchmarkE6Capacity is the capacity point of E6: a single ~11k-transistor
+// array multiplier analyzed end to end (the scale of a full custom block
+// of the era). Reported metric: transistors per second.
+func BenchmarkE6Capacity(b *testing.B) {
+	p := tech.NMOS4()
+	tb := delay.AnalyticTables(p)
+	var trans int
+	for i := 0; i < b.N; i++ {
+		nw, err := gen.ArrayMultiplier(p, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		trans = nw.Stats().Trans
+		a := core.New(nw, delay.NewSlope(tb), core.Options{})
+		for _, in := range nw.Inputs() {
+			a.SetInputEvent(in, tech.Rise, 0, 0)
+			a.SetInputEvent(in, tech.Fall, 0, 0)
+		}
+		if err := a.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if ev, _ := a.MaxArrival(); !ev.Valid {
+			b.Fatal("no arrival")
+		}
+	}
+	b.ReportMetric(float64(trans), "transistors")
+	b.ReportMetric(float64(trans)/b.Elapsed().Seconds()*float64(b.N), "trans/s")
+}
+
+// BenchmarkE6ChipScale is the whole-chip point of E6: the composed
+// processor datapath (register file + ALU + shifter + multiplier +
+// address adder + control PLA) analyzed with the same directives a
+// Crystal user would supply — the reproduction stand-in for the paper's
+// real-chip case studies.
+func BenchmarkE6ChipScale(b *testing.B) {
+	p := tech.NMOS4()
+	tb := delay.AnalyticTables(p)
+	var trans, stages int
+	var crit float64
+	for i := 0; i < b.N; i++ {
+		nw, err := gen.Chip(p, 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		trans = nw.Stats().Trans
+		fixed, loopBreak := gen.ChipDirectives(32)
+		var opts core.Options
+		for _, name := range loopBreak {
+			if n := nw.Lookup(name); n != nil {
+				opts.LoopBreak = append(opts.LoopBreak, n)
+			}
+		}
+		a := core.New(nw, delay.NewSlope(tb), opts)
+		for name, v := range fixed {
+			n := nw.Lookup(name)
+			if n == nil {
+				b.Fatalf("missing directive node %s", name)
+			}
+			a.SetFixed(n, switchsim.FromBool(v == "1"))
+		}
+		for _, in := range nw.Inputs() {
+			if _, isFixed := fixed[in.Name]; isFixed {
+				continue
+			}
+			a.SetInputEvent(in, tech.Rise, 0, 0)
+			a.SetInputEvent(in, tech.Fall, 0, 0)
+		}
+		if err := a.Run(); err != nil {
+			b.Fatal(err)
+		}
+		ev, _ := a.MaxArrival()
+		if !ev.Valid {
+			b.Fatal("no arrival")
+		}
+		crit = ev.T
+		stages = a.StagesEvaluated()
+	}
+	b.ReportMetric(float64(trans), "transistors")
+	b.ReportMetric(float64(stages), "stages")
+	b.ReportMetric(crit*1e9, "ns-crit")
+	b.ReportMetric(float64(trans)/b.Elapsed().Seconds()*float64(b.N), "trans/s")
+}
+
+// BenchmarkE7CriticalPaths reproduces the per-model critical path table
+// (E7) on the datapath blocks; reported metric is the slope-model critical
+// arrival of the 16-bit ripple adder.
+func BenchmarkE7CriticalPaths(b *testing.B) {
+	p := tech.NMOS4()
+	tb := tables(b)
+	var rows []experiments.CriticalRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.E7CriticalPaths(p, tb)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Block == "ripple-16" {
+			b.ReportMetric(r.Arrival["slope"]*1e9, "ns-ripple16-slope")
+			b.ReportMetric(r.Arrival["lumped"]/r.Arrival["rc"], "lumped/rc")
+		}
+	}
+}
+
+// BenchmarkE9PolyWire reproduces the resistive-interconnect scaling table
+// (E9): the lumped model's error grows with wire length while the
+// distributed estimate stays flat — the Penfield–Rubinstein motivation.
+func BenchmarkE9PolyWire(b *testing.B) {
+	p := tech.NMOS4()
+	tb := tables(b)
+	var rows []experiments.AccuracyRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.E9PolyWire(p, tb, []int{1, 3, 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	b.ReportMetric(last.Err("lumped")-first.Err("lumped"), "%err-growth-lumped")
+	b.ReportMetric(meanAbsErr(rows, "rc"), "%err-rc")
+}
+
+// BenchmarkE8RCBounds reproduces the RC-bound ablation (E8): RPH bound
+// containment of the analog reference on random trees, and the relative
+// width of the certificate interval.
+func BenchmarkE8RCBounds(b *testing.B) {
+	var rows []experiments.RCBoundsRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.E8RCBounds(12, 10, 2024)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	contained, width := 0.0, 0.0
+	for _, r := range rows {
+		if r.Contained {
+			contained++
+		}
+		width += (r.Upper - r.Lower) / r.Analog
+	}
+	b.ReportMetric(contained/float64(len(rows)), "containment")
+	b.ReportMetric(width/float64(len(rows)), "relwidth")
+}
+
+// --- Microbenchmarks of the analysis hot paths ------------------------------
+
+// BenchmarkStageExtraction measures worst-case stage enumeration through a
+// NAND stack trigger.
+func BenchmarkStageExtraction(b *testing.B) {
+	p := tech.NMOS4()
+	nw, err := gen.ALU(p, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trig := nw.Trans[len(nw.Trans)/2]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stage.Through(nw, trig, tech.Fall, stage.Options{})
+	}
+}
+
+// BenchmarkSwitchsimSettle measures full-network settling of an 8-bit ALU
+// after an input flip.
+func BenchmarkSwitchsimSettle(b *testing.B) {
+	p := tech.NMOS4()
+	nw, err := gen.ALU(p, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := switchsim.New(nw)
+	s.SetInputName("fadd", switchsim.V1)
+	s.Settle()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SetInputName("a0", switchsim.FromBool(i%2 == 0))
+		s.Settle()
+	}
+}
+
+// BenchmarkAnalyzerRipple8 measures a complete verifier run (seeding,
+// sensitization, propagation, tracing) on an 8-bit ripple adder.
+func BenchmarkAnalyzerRipple8(b *testing.B) {
+	p := tech.NMOS4()
+	tb := delay.AnalyticTables(p)
+	for i := 0; i < b.N; i++ {
+		nw, err := gen.RippleAdder(p, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a := core.New(nw, delay.NewSlope(tb), core.Options{})
+		for _, in := range nw.Inputs() {
+			a.SetInputEvent(in, tech.Rise, 0, 0)
+			a.SetInputEvent(in, tech.Fall, 0, 0)
+		}
+		if err := a.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if ev, _ := a.MaxArrival(); !ev.Valid {
+			b.Fatal("no arrival")
+		}
+	}
+}
+
+// BenchmarkAnalogInverter measures one transient run of the reference
+// simulator on an nMOS inverter (the unit of characterization cost).
+func BenchmarkAnalogInverter(b *testing.B) {
+	p := tech.NMOS4()
+	for i := 0; i < b.N; i++ {
+		c := analog.NewCircuit()
+		vdd, in, out := c.Node("vdd"), c.Node("in"), c.Node("out")
+		c.AddVSource(vdd, 0, analog.DC(p.Vdd))
+		c.AddVSource(in, 0, analog.Step(0, p.Vdd, 5e-9))
+		c.AddMOS(tech.NEnh, out, in, 0, p.MinW, p.MinL, p)
+		c.AddMOS(tech.NDep, vdd, out, out, p.MinW, 4*p.MinL, p)
+		c.AddCapacitor(out, 0, 100e-15, p.Vdd)
+		if _, err := c.Tran(analog.TranOpts{Stop: 60e-9, Step: 30e-12}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benchmarks (the design choices DESIGN.md calls out) ----------
+
+// BenchmarkAblationTables compares E2 accuracy under characterized versus
+// analytic tables: the value of the characterization step itself.
+func BenchmarkAblationTables(b *testing.B) {
+	p := tech.NMOS4()
+	for _, arm := range []struct {
+		name string
+		tb   func() *delay.Tables
+	}{
+		{"characterized", func() *delay.Tables { return tables(b) }},
+		{"analytic", func() *delay.Tables { return delay.AnalyticTables(p) }},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			tb := arm.tb()
+			var rows []experiments.AccuracyRow
+			for i := 0; i < b.N; i++ {
+				var err error
+				rows, err = experiments.E2ModelAccuracy(p, tb)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(meanAbsErr(rows, "slope"), "%err-slope")
+		})
+	}
+}
+
+// BenchmarkAblationPruning compares the verifier with and without static
+// sensitization pruning: cost (stage evaluations) and the arrival
+// inflation of the fully pessimistic analysis.
+func BenchmarkAblationPruning(b *testing.B) {
+	p := tech.NMOS4()
+	tb := delay.AnalyticTables(p)
+	for _, arm := range []struct {
+		name    string
+		noPrune bool
+	}{
+		{"pruned", false},
+		{"worst-case", true},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			var stages int
+			var worst float64
+			for i := 0; i < b.N; i++ {
+				nw, err := gen.ALU(p, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				a := core.New(nw, delay.NewSlope(tb), core.Options{NoStaticPruning: arm.noPrune})
+				// Fix the function select so pruning has something to
+				// prune; data inputs toggle.
+				a.SetFixed(nw.Lookup("fadd"), switchsim.V1)
+				for _, f := range []string{"fand", "for", "fxor"} {
+					a.SetFixed(nw.Lookup(f), switchsim.V0)
+				}
+				for _, in := range nw.Inputs() {
+					switch in.Name {
+					case "fadd", "fand", "for", "fxor":
+						continue
+					}
+					a.SetInputEvent(in, tech.Rise, 0, 0)
+					a.SetInputEvent(in, tech.Fall, 0, 0)
+				}
+				if err := a.Run(); err != nil {
+					b.Fatal(err)
+				}
+				stages = a.StagesEvaluated()
+				ev, _ := a.MaxArrival()
+				worst = ev.T
+			}
+			b.ReportMetric(float64(stages), "stages")
+			b.ReportMetric(worst*1e9, "ns-worst")
+		})
+	}
+}
+
+// BenchmarkAblationIntegration compares the analog reference's two
+// integrators on a characterization fixture at a coarse timestep.
+func BenchmarkAblationIntegration(b *testing.B) {
+	p := tech.NMOS4()
+	for _, arm := range []struct {
+		name string
+		trap bool
+	}{
+		{"backward-euler", false},
+		{"trapezoidal", true},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := analog.NewCircuit()
+				vdd, in, out := c.Node("vdd"), c.Node("in"), c.Node("out")
+				c.AddVSource(vdd, 0, analog.DC(p.Vdd))
+				c.AddVSource(in, 0, analog.Step(0, p.Vdd, 5e-9))
+				c.AddMOS(tech.NEnh, out, in, 0, p.MinW, p.MinL, p)
+				c.AddMOS(tech.NDep, vdd, out, out, p.MinW, 4*p.MinL, p)
+				c.AddCapacitor(out, 0, 100e-15, p.Vdd)
+				if _, err := c.Tran(analog.TranOpts{Stop: 60e-9, Step: 120e-12, Trapezoidal: arm.trap}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkModelEvaluate compares the per-stage cost of the three models
+// on a realistic multi-element stage.
+func BenchmarkModelEvaluate(b *testing.B) {
+	p := tech.NMOS4()
+	nw, err := gen.PassChain(p, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := stage.FromNode(nw, nw.Lookup("in"), tech.Fall, stage.Options{})
+	st := res.Stages[len(res.Stages)-1]
+	tb := delay.AnalyticTables(p)
+	for _, m := range delay.All(tb) {
+		b.Run(m.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m.Evaluate(nw, st, 1e-9)
+			}
+		})
+	}
+}

@@ -1,0 +1,74 @@
+// Command benchgen emits generated benchmark circuits as Berkeley .sim
+// files, the interchange format the timing verifier (cmd/crystal) reads —
+// the stand-in for layout extraction in the paper's toolchain.
+//
+// Usage:
+//
+//	benchgen -list
+//	benchgen -circuit alu:8 [-tech nmos-4u] [-o alu8.sim]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/gen"
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+func main() {
+	circuit := flag.String("circuit", "", "circuit spec, e.g. alu:8 or passchain:6")
+	techName := flag.String("tech", "nmos-4u", "technology: nmos-4u or cmos-3u")
+	out := flag.String("o", "", "output file (default stdout)")
+	list := flag.Bool("list", false, "list available circuits")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available circuits:")
+		for _, s := range gen.List() {
+			fmt.Printf("  %-12s %-16s %s\n", s.Name, s.Args, s.Doc)
+		}
+		return
+	}
+	if *circuit == "" {
+		fatal(fmt.Errorf("missing -circuit (or use -list)"))
+	}
+	var p *tech.Params
+	switch *techName {
+	case "nmos-4u", "nmos":
+		p = tech.NMOS4()
+	case "cmos-3u", "cmos":
+		p = tech.CMOS3()
+	default:
+		fatal(fmt.Errorf("unknown technology %q", *techName))
+	}
+	nw, err := gen.Build(*circuit, p)
+	if err != nil {
+		fatal(err)
+	}
+	if err := nw.Check(); err != nil {
+		fatal(err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := netlist.WriteSim(w, nw); err != nil {
+		fatal(err)
+	}
+	st := nw.Stats()
+	fmt.Fprintf(os.Stderr, "benchgen: %s — %d transistors, %d nodes, %d inputs, %d outputs\n",
+		nw.Name, st.Trans, st.Nodes, st.Inputs, st.Outputs)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,211 @@
+// Command crystal is the timing verifier: it reads a switch-level netlist
+// (Berkeley .sim format, as produced by layout extraction or cmd/benchgen),
+// seeds worst-case input events, runs the analysis under a chosen delay
+// model, and prints the critical paths — the end-user tool the paper's
+// system presents.
+//
+// Usage:
+//
+//	crystal -sim alu8.sim [-tech nmos-4u] [-model slope] [-tables char]
+//	        [-rise a0,b0] [-fall a0] [-fix ctl=1,en=0] [-slope 1e-9]
+//	        [-top 5] [-erc] [-deadline 200e-9]
+//
+// With no -rise/-fall flags every node marked "@ in" in the netlist
+// toggles in both directions at t=0, the fully vectorless worst case.
+// With -deadline, a slack report follows the critical paths and the exit
+// status is 2 if any endpoint misses the deadline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/charlib"
+	"repro/internal/core"
+	"repro/internal/delay"
+	"repro/internal/erc"
+	"repro/internal/netlist"
+	"repro/internal/switchsim"
+	"repro/internal/tech"
+)
+
+// config collects everything main parses from flags; run executes it.
+type config struct {
+	simFile   string
+	techName  string
+	model     string
+	tables    string
+	rise      string
+	fall      string
+	fix       string
+	inSlope   float64
+	top       int
+	runERC    bool
+	deadline  float64
+	loopbreak string
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.simFile, "sim", "", "input .sim netlist (required)")
+	flag.StringVar(&cfg.techName, "tech", "nmos-4u", "technology: nmos-4u or cmos-3u")
+	flag.StringVar(&cfg.model, "model", "slope", "delay model: lumped, rc, or slope")
+	flag.StringVar(&cfg.tables, "tables", "char", "delay tables: char or analytic")
+	flag.StringVar(&cfg.rise, "rise", "", "comma list of inputs that rise at t=0")
+	flag.StringVar(&cfg.fall, "fall", "", "comma list of inputs that fall at t=0")
+	flag.StringVar(&cfg.fix, "fix", "", "comma list of node=0|1 fixed values")
+	flag.Float64Var(&cfg.inSlope, "slope", 1e-9, "input transition time in seconds")
+	flag.IntVar(&cfg.top, "top", 5, "number of critical paths to print")
+	flag.BoolVar(&cfg.runERC, "erc", false, "run electrical rule checks before timing")
+	flag.Float64Var(&cfg.deadline, "deadline", 0, "if positive, print a slack report against this time (seconds)")
+	flag.StringVar(&cfg.loopbreak, "loopbreak", "", "comma list of nodes whose fanout is cut (feedback directive)")
+	flag.Parse()
+
+	violations, err := run(cfg, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crystal:", err)
+		os.Exit(1)
+	}
+	if violations > 0 {
+		os.Exit(2)
+	}
+}
+
+// run executes one analysis, writing reports to w. It returns the number
+// of deadline violations (0 when no deadline was given).
+func run(cfg config, w io.Writer) (int, error) {
+	if cfg.simFile == "" {
+		return 0, fmt.Errorf("missing -sim file")
+	}
+	var p *tech.Params
+	switch cfg.techName {
+	case "nmos-4u", "nmos":
+		p = tech.NMOS4()
+	case "cmos-3u", "cmos":
+		p = tech.CMOS3()
+	default:
+		return 0, fmt.Errorf("unknown technology %q", cfg.techName)
+	}
+
+	f, err := os.Open(cfg.simFile)
+	if err != nil {
+		return 0, err
+	}
+	nw, err := netlist.ReadSim(cfg.simFile, p, f)
+	f.Close()
+	if err != nil {
+		return 0, err
+	}
+	if err := nw.Check(); err != nil {
+		return 0, err
+	}
+
+	if cfg.runERC {
+		fmt.Fprint(w, erc.Format(erc.Check(nw, erc.Options{})))
+	}
+
+	var tb *delay.Tables
+	switch cfg.tables {
+	case "char":
+		tb, err = charlib.Default(p)
+		if err != nil {
+			fmt.Fprintf(w, "crystal: characterization failed (%v); using analytic tables\n", err)
+		}
+	case "analytic":
+		tb = delay.AnalyticTables(p)
+	default:
+		return 0, fmt.Errorf("unknown tables %q", cfg.tables)
+	}
+	m, err := delay.ByName(cfg.model, tb)
+	if err != nil {
+		return 0, err
+	}
+
+	var opts core.Options
+	for _, name := range splitList(cfg.loopbreak) {
+		n := nw.Lookup(name)
+		if n == nil {
+			return 0, fmt.Errorf("-loopbreak: no node named %q", name)
+		}
+		opts.LoopBreak = append(opts.LoopBreak, n)
+	}
+	a := core.New(nw, m, opts)
+	fixedNames := map[string]bool{}
+	for _, kv := range splitList(cfg.fix) {
+		name, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return 0, fmt.Errorf("bad -fix entry %q (want node=0|1)", kv)
+		}
+		n := nw.Lookup(name)
+		if n == nil {
+			return 0, fmt.Errorf("-fix: no node named %q", name)
+		}
+		switch val {
+		case "0":
+			a.SetFixed(n, switchsim.V0)
+		case "1":
+			a.SetFixed(n, switchsim.V1)
+		default:
+			return 0, fmt.Errorf("bad -fix value %q for %s", val, name)
+		}
+		fixedNames[name] = true
+	}
+
+	seeded := false
+	for _, name := range splitList(cfg.rise) {
+		if err := a.SetInputEventName(name, tech.Rise, 0, cfg.inSlope); err != nil {
+			return 0, err
+		}
+		seeded = true
+	}
+	for _, name := range splitList(cfg.fall) {
+		if err := a.SetInputEventName(name, tech.Fall, 0, cfg.inSlope); err != nil {
+			return 0, err
+		}
+		seeded = true
+	}
+	if !seeded {
+		for _, in := range nw.Inputs() {
+			if fixedNames[in.Name] {
+				continue
+			}
+			if err := a.SetInputEvent(in, tech.Rise, 0, cfg.inSlope); err != nil {
+				return 0, err
+			}
+			if err := a.SetInputEvent(in, tech.Fall, 0, cfg.inSlope); err != nil {
+				return 0, err
+			}
+		}
+	}
+
+	if err := a.Run(); err != nil {
+		return 0, err
+	}
+	st := nw.Stats()
+	fmt.Fprintf(w, "crystal: %s — %d transistors, %d nodes (%s tables)\n",
+		nw.Name, st.Trans, st.Nodes, tb.Source)
+	if err := a.WriteReport(w, cfg.top); err != nil {
+		return 0, err
+	}
+	if cfg.deadline > 0 {
+		fmt.Fprintln(w)
+		return a.WriteSlackReport(w, cfg.deadline, cfg.top), nil
+	}
+	return 0, nil
+}
+
+func splitList(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}

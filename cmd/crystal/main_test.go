@@ -1,0 +1,126 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// testdataPath points at the repository-level testdata directory.
+const testdataPath = "../../testdata/"
+
+func TestRunDLatch(t *testing.T) {
+	var out strings.Builder
+	cfg := config{
+		simFile: testdataPath + "dlatch.sim",
+		// Analytic tables keep the test fast and hermetic.
+		techName: "nmos-4u", model: "slope", tables: "analytic",
+		rise: "d", fall: "d", fix: "wr=1",
+		inSlope: 1e-9, top: 3,
+	}
+	v, err := run(cfg, &out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	if v != 0 {
+		t.Errorf("violations without a deadline should be 0, got %d", v)
+	}
+	rep := out.String()
+	for _, want := range []string{"crystal: ", "timing report", "path 1:", "out"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestRunWithDeadline(t *testing.T) {
+	var out strings.Builder
+	cfg := config{
+		simFile:  testdataPath + "mux2-cmos.sim",
+		techName: "cmos-3u", model: "rc", tables: "analytic",
+		inSlope: 1e-9, top: 3, deadline: 1e-12, // everything violates
+	}
+	v, err := run(cfg, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == 0 {
+		t.Errorf("1 ps deadline should violate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "slack report") {
+		t.Error("missing slack report")
+	}
+}
+
+func TestRunERCFlag(t *testing.T) {
+	var out strings.Builder
+	cfg := config{
+		simFile:  testdataPath + "dynamic-stage.sim",
+		techName: "nmos-4u", model: "lumped", tables: "analytic",
+		inSlope: 1e-9, top: 1, runERC: true,
+		fix: "phi=0,b=1", rise: "a",
+	}
+	if _, err := run(cfg, &out); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "electrical rules") {
+		t.Error("missing ERC section")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []config{
+		{},                    // no sim file
+		{simFile: "nope.sim"}, // missing file
+		{simFile: testdataPath + "dlatch.sim", techName: "ge-5"},
+		{simFile: testdataPath + "dlatch.sim", techName: "nmos-4u", tables: "mystery"},
+		{simFile: testdataPath + "dlatch.sim", techName: "nmos-4u", tables: "analytic", model: "psychic"},
+		{simFile: testdataPath + "dlatch.sim", techName: "nmos-4u", tables: "analytic", model: "rc", fix: "wr"},
+		{simFile: testdataPath + "dlatch.sim", techName: "nmos-4u", tables: "analytic", model: "rc", fix: "wr=7"},
+		{simFile: testdataPath + "dlatch.sim", techName: "nmos-4u", tables: "analytic", model: "rc", fix: "ghost=1"},
+		{simFile: testdataPath + "dlatch.sim", techName: "nmos-4u", tables: "analytic", model: "rc", rise: "ghost"},
+	}
+	for i, cfg := range cases {
+		var out strings.Builder
+		if _, err := run(cfg, &out); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestGoldenDLatchReport(t *testing.T) {
+	// Exact-output regression guard for the report format and the
+	// analytic-table timing numbers. Regenerate with:
+	//   go run ./cmd/crystal -sim testdata/dlatch.sim -tables analytic \
+	//     -model slope -rise d -fall d -fix wr=1 -top 2 \
+	//     > testdata/golden/dlatch-report.txt
+	want, err := os.ReadFile(testdataPath + "golden/dlatch-report.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	cfg := config{
+		simFile:  testdataPath + "dlatch.sim",
+		techName: "nmos-4u", model: "slope", tables: "analytic",
+		rise: "d", fall: "d", fix: "wr=1",
+		inSlope: 1e-9, top: 2,
+	}
+	if _, err := run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	// The sim file path appears in the report; normalize it.
+	got = strings.ReplaceAll(got, testdataPath, "testdata/")
+	if got != string(want) {
+		t.Errorf("golden mismatch:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	if got := splitList(""); got != nil {
+		t.Errorf("empty = %v", got)
+	}
+	if got := splitList(" a, b ,,c "); len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("got %v", got)
+	}
+}

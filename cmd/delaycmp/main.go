@@ -1,0 +1,162 @@
+// Command delaycmp reproduces the paper's evaluation tables and figures:
+// model accuracy against the circuit-level reference (E2), pass-chain
+// scaling (E3), fan-out scaling (E4), input-slope response (E5), verifier
+// throughput (E6), per-model critical paths of datapath blocks (E7), and
+// the RC-tree bound ablation (E8).
+//
+// Usage:
+//
+//	delaycmp [-tech nmos-4u|cmos-3u] [-exp e2,e3,...|all] [-tables char|analytic]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/charlib"
+	"repro/internal/delay"
+	"repro/internal/experiments"
+	"repro/internal/tech"
+)
+
+func main() {
+	techName := flag.String("tech", "nmos-4u", "technology: nmos-4u or cmos-3u")
+	expList := flag.String("exp", "all", "experiments to run: comma list of e2..e8, or all")
+	tables := flag.String("tables", "char", "delay tables: char (characterized) or analytic")
+	format := flag.String("format", "table", "output for accuracy experiments: table or csv")
+	flag.Parse()
+
+	var p *tech.Params
+	switch *techName {
+	case "nmos-4u", "nmos":
+		p = tech.NMOS4()
+	case "cmos-3u", "cmos":
+		p = tech.CMOS3()
+	default:
+		fatal(fmt.Errorf("unknown technology %q", *techName))
+	}
+
+	var tb *delay.Tables
+	switch *tables {
+	case "char":
+		var err error
+		tb, err = charlib.Default(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "delaycmp: characterization failed (%v); using analytic tables\n", err)
+		}
+	case "analytic":
+		tb = delay.AnalyticTables(p)
+	default:
+		fatal(fmt.Errorf("unknown tables %q (want char or analytic)", *tables))
+	}
+	fmt.Printf("technology %s, %s tables\n\n", p.Name, tb.Source)
+
+	want := map[string]bool{}
+	if *expList == "all" {
+		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"} {
+			want[e] = true
+		}
+	} else {
+		for _, e := range strings.Split(*expList, ",") {
+			want[strings.TrimSpace(strings.ToLower(e))] = true
+		}
+	}
+
+	if want["e1"] {
+		fmt.Println("E1: slope-model characterization curves (Rmult vs slope ratio)")
+		analytic := delay.AnalyticTables(p)
+		for _, d := range tech.Devices() {
+			for _, tr := range []tech.Transition{tech.Rise, tech.Fall} {
+				if tb.RSquare[d][tr] == 0 {
+					continue
+				}
+				c := tb.Curve(d, tr)
+				fmt.Printf("  %s/%s Reff=%.0fΩ/sq (rule of thumb %.0f):",
+					d, tr, tb.RSquare[d][tr], p.RSquare(d, tr))
+				for i, r := range c.Ratio {
+					fmt.Printf(" %g→%.2f", r, c.RMult[i])
+				}
+				if tb.Source == "characterized" {
+					ac := analytic.Curve(d, tr)
+					last := c.Ratio[len(c.Ratio)-1]
+					fmt.Printf("  [analytic@%g: %.2f]", last, ac.MultAt(last))
+				}
+				fmt.Println()
+			}
+		}
+		fmt.Println()
+	}
+
+	if want["e2"] {
+		rows, err := experiments.E2ModelAccuracy(p, tb)
+		if err != nil {
+			fatal(err)
+		}
+		renderAccuracy(*format, "E2: model accuracy vs analog reference", rows)
+	}
+	if want["e3"] {
+		rows, err := experiments.E3PassChains(p, tb, nil)
+		if err != nil {
+			fatal(err)
+		}
+		renderAccuracy(*format, "E3: pass-transistor chain scaling", rows)
+	}
+	if want["e4"] {
+		rows, err := experiments.E4Fanout(p, tb, nil)
+		if err != nil {
+			fatal(err)
+		}
+		renderAccuracy(*format, "E4: delay vs fan-out", rows)
+	}
+	if want["e5"] {
+		rows, err := experiments.E5InputSlope(p, tb, nil)
+		if err != nil {
+			fatal(err)
+		}
+		renderAccuracy(*format, "E5: delay vs input transition time", rows)
+	}
+	if want["e6"] {
+		rows, err := experiments.E6Throughput(p, tb, "slope")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatThroughput("E6: verifier throughput (slope model)", rows))
+	}
+	if want["e7"] {
+		rows, err := experiments.E7CriticalPaths(p, tb)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatCritical("E7: critical paths per model", rows))
+	}
+	if want["e9"] {
+		rows, err := experiments.E9PolyWire(p, tb, nil)
+		if err != nil {
+			fatal(err)
+		}
+		renderAccuracy(*format, "E9: resistive interconnect wire scaling", rows)
+	}
+	if want["e8"] {
+		rows, err := experiments.E8RCBounds(12, 10, 2024)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatRCBounds("E8: RPH bounds on random RC trees (v=0.5)", rows))
+	}
+}
+
+// renderAccuracy prints rows in the selected format.
+func renderAccuracy(format, title string, rows []experiments.AccuracyRow) {
+	if format == "csv" {
+		fmt.Printf("# %s\n%s\n", title, experiments.CSVAccuracy(rows))
+		return
+	}
+	fmt.Println(experiments.FormatAccuracy(title, rows))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "delaycmp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,164 @@
+// Command esim is a batch switch-level logic simulator over .sim netlists,
+// in the spirit of the Berkeley esim tool the paper's ecosystem grew from.
+// It reads a command script (file or stdin) and prints node values after
+// each settle.
+//
+// Usage:
+//
+//	esim -sim counter.sim [-tech nmos-4u] [-script cmds.txt]
+//
+// Script commands (one per line, '#' comments):
+//
+//	h <node>...        drive nodes high
+//	l <node>...        drive nodes low
+//	x <node>...        release nodes (undriven unknown)
+//	s                  settle and report watched nodes
+//	w <node>...        add nodes to the watch list
+//	d                  dump all node values
+//	check <node>=<v>   assert a node's value (0, 1, or X); exit 1 on failure
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/netlist"
+	"repro/internal/switchsim"
+	"repro/internal/tech"
+)
+
+func main() {
+	simFile := flag.String("sim", "", "input .sim netlist (required)")
+	techName := flag.String("tech", "nmos-4u", "technology: nmos-4u or cmos-3u")
+	script := flag.String("script", "", "command script (default stdin)")
+	flag.Parse()
+
+	if *simFile == "" {
+		fatal(fmt.Errorf("missing -sim file"))
+	}
+	var p *tech.Params
+	switch *techName {
+	case "nmos-4u", "nmos":
+		p = tech.NMOS4()
+	case "cmos-3u", "cmos":
+		p = tech.CMOS3()
+	default:
+		fatal(fmt.Errorf("unknown technology %q", *techName))
+	}
+	f, err := os.Open(*simFile)
+	if err != nil {
+		fatal(err)
+	}
+	nw, err := netlist.ReadSim(*simFile, p, f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	var in io.Reader = os.Stdin
+	if *script != "" {
+		sf, err := os.Open(*script)
+		if err != nil {
+			fatal(err)
+		}
+		defer sf.Close()
+		in = sf
+	}
+	if err := run(nw, in, os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+// run executes the command stream; split out for testing.
+func run(nw *netlist.Network, in io.Reader, out io.Writer) error {
+	s := switchsim.New(nw)
+	var watch []string
+	// Default watch list: marked outputs.
+	for _, n := range nw.Outputs() {
+		watch = append(watch, n.Name)
+	}
+	sc := bufio.NewScanner(in)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		cmd := fields[0]
+		args := fields[1:]
+		drive := func(v switchsim.Value) error {
+			for _, name := range args {
+				if err := s.SetInputName(name, v); err != nil {
+					return fmt.Errorf("line %d: %w", lineno, err)
+				}
+			}
+			return nil
+		}
+		switch cmd {
+		case "h":
+			if err := drive(switchsim.V1); err != nil {
+				return err
+			}
+		case "l":
+			if err := drive(switchsim.V0); err != nil {
+				return err
+			}
+		case "x":
+			if err := drive(switchsim.VX); err != nil {
+				return err
+			}
+		case "w":
+			watch = append(watch, args...)
+		case "s":
+			sweeps := s.Settle()
+			fmt.Fprintf(out, "settled (%d sweeps)", sweeps)
+			if s.Oscillated() {
+				fmt.Fprintf(out, " [oscillation → X]")
+			}
+			for _, name := range watch {
+				fmt.Fprintf(out, " %s=%s", name, s.ValueName(name))
+			}
+			fmt.Fprintln(out)
+		case "d":
+			for _, name := range nw.SortedNodeNames() {
+				fmt.Fprintf(out, "%s=%s ", name, s.ValueName(name))
+			}
+			fmt.Fprintln(out)
+		case "check":
+			for _, a := range args {
+				name, val, ok := strings.Cut(a, "=")
+				if !ok {
+					return fmt.Errorf("line %d: bad check %q", lineno, a)
+				}
+				var want switchsim.Value
+				switch val {
+				case "0":
+					want = switchsim.V0
+				case "1":
+					want = switchsim.V1
+				case "X", "x":
+					want = switchsim.VX
+				default:
+					return fmt.Errorf("line %d: bad value %q", lineno, val)
+				}
+				if got := s.ValueName(name); got != want {
+					return fmt.Errorf("line %d: check failed: %s=%s, want %s", lineno, name, got, want)
+				}
+			}
+		default:
+			return fmt.Errorf("line %d: unknown command %q", lineno, cmd)
+		}
+	}
+	return sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "esim:", err)
+	os.Exit(1)
+}

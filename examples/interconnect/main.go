@@ -1,0 +1,89 @@
+// Interconnect study: a resistive polysilicon wire timed three ways — the
+// switch-level models, the rigorous Rubinstein–Penfield–Horowitz bounds on
+// the stage's RC tree, and the transistor-level analog reference.
+//
+//	go run ./examples/interconnect
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/analog"
+	"repro/internal/core"
+	"repro/internal/delay"
+	"repro/internal/gen"
+	"repro/internal/tech"
+)
+
+func main() {
+	p := tech.NMOS4()
+	const sections = 10
+	totalR, totalC := 60e3, 600e-15 // a long, narrow poly run
+	nw, err := gen.PolyWire(p, sections, totalR, totalC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wire: %.0f kΩ / %.0f fF in %d sections, nMOS driver\n\n",
+		totalR/1e3, totalC*1e15, sections)
+
+	tables := delay.AnalyticTables(p)
+	wend := nw.Lookup("wend")
+
+	// Switch-level models.
+	for _, m := range delay.All(tables) {
+		a := core.New(nw, m, core.Options{})
+		a.SetInputEventName("in", tech.Rise, 0, 1e-9)
+		if err := a.Run(); err != nil {
+			log.Fatal(err)
+		}
+		ev := a.Arrival(wend, tech.Fall)
+		fmt.Printf("%-8s model: wire end falls at %6.2f ns\n", m.Name(), ev.T*1e9)
+	}
+
+	// RPH bounds on the driving stage's RC tree.
+	a := core.New(nw, &delay.Bounded{T: tables}, core.Options{})
+	a.SetInputEventName("in", tech.Rise, 0, 1e-9)
+	if err := a.Run(); err != nil {
+		log.Fatal(err)
+	}
+	ev := a.Arrival(wend, tech.Fall)
+	if st := ev.Via; st != nil {
+		lo, hi, err := (&delay.Bounded{T: tables}).Bounds(nw, st)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nRPH certificate for the final stage alone (step input,\n"+
+			"excluding the driver's own switching): [%.2f, %.2f] ns\n", lo*1e9, hi*1e9)
+	}
+
+	// Analog reference: drive the input with a 1 ns ramp after a long
+	// settle, measure the 50% crossing at the wire end.
+	in := nw.Lookup("in")
+	c, nmap, err := analog.FromNetlist(nw, []analog.InputDrive{
+		{Node: in, W: analog.Ramp(0, p.Vdd, 600e-9, 1e-9)},
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := c.Tran(analog.TranOpts{
+		Stop: 900e-9, Step: 100e-12,
+		Record: []int{nmap[in.Index], nmap[wend.Index]},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := res.Delay50(nmap[in.Index], nmap[wend.Index], true, false, 0, p.Vdd, 300e-9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analog reference: %.2f ns\n", d*1e9)
+	plot, err := res.Plot(nmap[wend.Index], 60, 0, p.Vdd)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwire end waveform: %s\n", plot)
+	fmt.Println("\nthe lumped estimate overshoots by ~2× on long wires; the")
+	fmt.Println("distributed estimate tracks the reference — the result that")
+	fmt.Println("motivated the distributed RC model.")
+}

@@ -1,0 +1,82 @@
+// Conversion from switch-level netlists to analog circuits, so that any
+// benchmark circuit the generators produce can be cross-checked against
+// the circuit-level reference — the heart of the model-accuracy
+// experiments (E2–E5).
+package analog
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// InputDrive describes the analog waveform applied to one chip input.
+type InputDrive struct {
+	Node *netlist.Node
+	W    Waveform
+}
+
+// FromNetlist builds an analog circuit from a switch-level network:
+//
+//   - Vdd becomes a DC source at the technology supply voltage; GND is
+//     the analog ground.
+//   - Every transistor becomes a level-1 MOSFET with its netlist geometry.
+//   - Every node's total switch-level capacitance (explicit + gate +
+//     diffusion, exactly the value the delay models see) becomes a
+//     grounded capacitor, initialized from init (volts per node index;
+//     nil initializes everything to 0 except Vdd).
+//   - Each drive connects a waveform source to an input node.
+//
+// It returns the circuit and a mapping from netlist node index to analog
+// node index.
+func FromNetlist(nw *netlist.Network, drives []InputDrive, init map[int]float64) (*Circuit, []int, error) {
+	c := NewCircuit()
+	nmap := make([]int, len(nw.Nodes))
+	for _, n := range nw.Nodes {
+		if n.Kind == netlist.KindGnd {
+			nmap[n.Index] = 0
+			continue
+		}
+		nmap[n.Index] = c.Node(n.Name)
+	}
+	vdd := nmap[nw.Vdd().Index]
+	c.AddVSource(vdd, 0, DC(nw.Tech.Vdd))
+
+	driven := map[int]bool{nw.Vdd().Index: true, nw.GND().Index: true}
+	for _, d := range drives {
+		if d.Node == nil {
+			return nil, nil, fmt.Errorf("analog: nil drive node")
+		}
+		if driven[d.Node.Index] {
+			return nil, nil, fmt.Errorf("analog: node %s driven twice", d.Node.Name)
+		}
+		driven[d.Node.Index] = true
+		c.AddVSource(nmap[d.Node.Index], 0, d.W)
+	}
+
+	for _, n := range nw.Nodes {
+		if n.IsRail() || driven[n.Index] {
+			continue
+		}
+		v0 := 0.0
+		if init != nil {
+			v0 = init[n.Index]
+		}
+		if n.Precharged && init == nil {
+			v0 = nw.Tech.Vdd
+		}
+		cap := nw.NodeCap(n)
+		if cap > 0 {
+			c.AddCapacitor(nmap[n.Index], 0, cap, v0)
+		}
+	}
+
+	for _, t := range nw.Trans {
+		if t.IsWire() {
+			c.AddResistor(nmap[t.A.Index], nmap[t.B.Index], t.ROverride)
+			continue
+		}
+		c.AddMOS(t.Type, nmap[t.A.Index], nmap[t.Gate.Index], nmap[t.B.Index], t.W, t.L, nw.Tech)
+	}
+	return c, nmap, nil
+}

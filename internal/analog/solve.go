@@ -1,0 +1,85 @@
+// Dense linear algebra for the modified-nodal-analysis equations. The
+// circuits this simulator handles (characterization fixtures and benchmark
+// cells, tens of nodes) are far below the size where sparse techniques pay
+// off, so a dense LU with partial pivoting keeps the code small and the
+// behaviour predictable.
+package analog
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// matrix is a dense square matrix stored row-major.
+type matrix struct {
+	n int
+	a []float64
+}
+
+func newMatrix(n int) *matrix {
+	return &matrix{n: n, a: make([]float64, n*n)}
+}
+
+func (m *matrix) at(i, j int) float64     { return m.a[i*m.n+j] }
+func (m *matrix) add(i, j int, v float64) { m.a[i*m.n+j] += v }
+func (m *matrix) zero() {
+	for i := range m.a {
+		m.a[i] = 0
+	}
+}
+
+// errSingular reports a matrix the solver could not factor; it usually
+// means a floating node with no path to ground (gmin should prevent this).
+var errSingular = errors.New("analog: singular MNA matrix")
+
+// solveInPlace solves A·x = b by Gaussian elimination with partial
+// pivoting, overwriting both the matrix and b; the solution is left in b.
+func (m *matrix) solveInPlace(b []float64) error {
+	n := m.n
+	if len(b) != n {
+		return fmt.Errorf("analog: rhs length %d does not match matrix size %d", len(b), n)
+	}
+	for col := 0; col < n; col++ {
+		// Pivot selection.
+		piv, pmax := col, math.Abs(m.at(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m.at(r, col)); v > pmax {
+				piv, pmax = r, v
+			}
+		}
+		if pmax < 1e-30 {
+			return fmt.Errorf("%w (pivot %d)", errSingular, col)
+		}
+		if piv != col {
+			ri, rj := piv*n, col*n
+			for k := 0; k < n; k++ {
+				m.a[ri+k], m.a[rj+k] = m.a[rj+k], m.a[ri+k]
+			}
+			b[piv], b[col] = b[col], b[piv]
+		}
+		// Eliminate below.
+		inv := 1 / m.at(col, col)
+		for r := col + 1; r < n; r++ {
+			f := m.at(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			ri, ci := r*n, col*n
+			for k := col; k < n; k++ {
+				m.a[ri+k] -= f * m.a[ci+k]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back substitution.
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		ri := r * n
+		for k := r + 1; k < n; k++ {
+			s -= m.a[ri+k] * b[k]
+		}
+		b[r] = s / m.a[ri+r]
+	}
+	return nil
+}

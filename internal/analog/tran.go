@@ -1,0 +1,207 @@
+// Transient analysis: fixed-timestep backward Euler with damped
+// Newton–Raphson at every step.
+package analog
+
+import (
+	"fmt"
+	"math"
+)
+
+// TranOpts controls a transient run.
+type TranOpts struct {
+	// Stop is the end time in seconds (mandatory, > 0).
+	Stop float64
+	// Step is the timestep in seconds. Zero selects Stop/2000.
+	Step float64
+	// MaxNewton bounds Newton iterations per timestep (default 100).
+	MaxNewton int
+	// VTol is the Newton convergence tolerance on node voltages in
+	// volts (default 1 µV).
+	VTol float64
+	// Record selects which nodes to record; nil records every node.
+	Record []int
+	// DampLimit caps the per-iteration Newton voltage update in volts
+	// (default 1.0). Damping is what lets the level-1 model converge
+	// through region changes without timestep control.
+	DampLimit float64
+	// Trapezoidal selects trapezoidal integration for capacitors instead
+	// of the default backward Euler: second-order accurate, so coarse
+	// timesteps keep their fidelity, at the cost of possible ringing on
+	// hard switching events.
+	Trapezoidal bool
+}
+
+func (o *TranOpts) fill() error {
+	if o.Stop <= 0 {
+		return fmt.Errorf("analog: Tran stop time %g must be positive", o.Stop)
+	}
+	if o.Step <= 0 {
+		o.Step = o.Stop / 2000
+	}
+	if o.MaxNewton <= 0 {
+		o.MaxNewton = 100
+	}
+	if o.VTol <= 0 {
+		o.VTol = 1e-6
+	}
+	if o.DampLimit <= 0 {
+		o.DampLimit = 1.0
+	}
+	return nil
+}
+
+// Result holds the sampled waveforms of a transient run.
+type Result struct {
+	// Times are the sample instants, starting at 0.
+	Times []float64
+	// V maps node index to its sampled voltage trace (same length as
+	// Times). Only recorded nodes are present.
+	V map[int][]float64
+	// Steps counts accepted timesteps; NewtonTotal counts Newton
+	// iterations summed over all steps (a cost/conditioning indicator).
+	Steps, NewtonTotal int
+	circ               *Circuit
+}
+
+// Tran runs a transient analysis and returns sampled waveforms. The
+// initial state is the DC solution at t=0 obtained by Newton on the t=0
+// equations with capacitors open-circuited to their initial voltages
+// (capacitors here carry explicit initial voltages, so a separate DC
+// operating-point pass is unnecessary: the first timestep from consistent
+// initial conditions serves).
+func (c *Circuit) Tran(o TranOpts) (*Result, error) {
+	if err := o.fill(); err != nil {
+		return nil, err
+	}
+	nNodes := len(c.names)
+	nv := nNodes - 1
+	dim := nv + c.nvsrc
+	if dim == 0 {
+		return nil, fmt.Errorf("analog: empty circuit")
+	}
+	m := newMatrix(dim)
+	b := make([]float64, dim)
+	x := make([]float64, nNodes)    // node voltages incl. ground at [0]
+	xNew := make([]float64, nNodes) // candidate
+	sol := make([]float64, dim)     // raw solution vector
+	record := o.Record
+	if record == nil {
+		record = make([]int, 0, nNodes)
+		for i := 1; i < nNodes; i++ {
+			record = append(record, i)
+		}
+	}
+	res := &Result{V: make(map[int][]float64, len(record)), circ: c}
+	for _, n := range record {
+		res.V[n] = make([]float64, 0, int(o.Stop/o.Step)+2)
+	}
+	sample := func(t float64) {
+		res.Times = append(res.Times, t)
+		for _, n := range record {
+			res.V[n] = append(res.V[n], x[n])
+		}
+	}
+
+	// Initialize node voltages from capacitor initial conditions where
+	// available (caps to ground dominate in our netlists); other nodes
+	// start at 0 and the first Newton solve settles them. Select the
+	// integration method while we are at it.
+	for _, d := range c.devs {
+		if cp, ok := d.(*capacitor); ok {
+			cp.trap = o.Trapezoidal
+			cp.iprev = 0
+			cp.started = false
+			if cp.b == 0 {
+				x[cp.a] = cp.vprev
+			}
+		}
+	}
+
+	// A circuit with no nonlinear devices solves exactly in one pass; the
+	// Newton loop and its convergence checks are pure overhead.
+	linear := true
+	for _, d := range c.devs {
+		if d.nonlinear() {
+			linear = false
+			break
+		}
+	}
+
+	solveStep := func(t, dt float64) error {
+		copy(xNew, x)
+		for it := 0; it < o.MaxNewton; it++ {
+			m.zero()
+			for i := range b {
+				b[i] = 0
+			}
+			st := &stamper{m: m, b: b, nv: nv}
+			for _, d := range c.devs {
+				d.stamp(st, t, dt, xNew)
+			}
+			// gmin to ground on every node row.
+			for i := 0; i < nv; i++ {
+				m.add(i, i, gmin)
+			}
+			copy(sol, b)
+			if err := m.solveInPlace(sol); err != nil {
+				return fmt.Errorf("t=%.4g: %w", t, err)
+			}
+			if hasNaN(sol) {
+				return fmt.Errorf("analog: non-finite solution at t=%.4g", t)
+			}
+			res.NewtonTotal++
+			if linear {
+				// The solution of a linear system is exact: accept it
+				// without damping or a convergence pass.
+				for n := 1; n < nNodes; n++ {
+					x[n] = sol[n-1]
+				}
+				return nil
+			}
+			// Damped update; measure convergence on node voltages.
+			maxDelta := 0.0
+			for n := 1; n < nNodes; n++ {
+				want := sol[n-1]
+				delta := want - xNew[n]
+				if d := math.Abs(delta); d > maxDelta {
+					maxDelta = d
+				}
+				if delta > o.DampLimit {
+					delta = o.DampLimit
+				} else if delta < -o.DampLimit {
+					delta = -o.DampLimit
+				}
+				xNew[n] += delta
+			}
+			if maxDelta < o.VTol {
+				copy(x, xNew)
+				return nil
+			}
+		}
+		return fmt.Errorf("analog: Newton failed to converge at t=%.4g", t)
+	}
+
+	// Settle the initial point by solving at t=0 with a tiny dt so the
+	// capacitor companions pin initialized nodes near their ICs.
+	if err := solveStep(0, o.Step*1e-3); err != nil {
+		return nil, err
+	}
+	sample(0)
+
+	nsteps := int(math.Ceil(o.Stop / o.Step))
+	for s := 1; s <= nsteps; s++ {
+		t := float64(s) * o.Step
+		if t > o.Stop {
+			t = o.Stop
+		}
+		if err := solveStep(t, o.Step); err != nil {
+			return nil, err
+		}
+		for _, d := range c.devs {
+			d.commit(t, o.Step, x)
+		}
+		res.Steps++
+		sample(t)
+	}
+	return res, nil
+}

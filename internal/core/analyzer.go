@@ -1,0 +1,638 @@
+// Package core is the timing verifier: the Crystal-style worst-case
+// analyzer that propagates latest rise/fall times (with slopes) through a
+// switch-level network using a pluggable delay model, and traces the
+// critical paths.
+//
+// The analysis is vectorless. Each node carries two worst-case events —
+// the latest time it can finish rising and the latest time it can finish
+// falling. Chip inputs are seeded by the user; events then propagate:
+//
+//   - a gate event that turns a transistor ON evaluates every stage whose
+//     path runs through that transistor (package stage enumerates them);
+//   - a gate event that turns a transistor OFF releases its channel nodes,
+//     which may now move toward whatever still drives them (the classic
+//     nMOS case: output rises through the depletion load after the
+//     pulldown shuts off);
+//   - an input's own transition propagates through already-conducting
+//     pass transistors.
+//
+// Static sensitization from the switch-level simulator prunes stages
+// through definitely-off transistors and transitions to values a node
+// already holds. Everything else is worst case, as in the paper.
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/delay"
+	"repro/internal/netlist"
+	"repro/internal/stage"
+	"repro/internal/switchsim"
+	"repro/internal/tech"
+)
+
+// Event is a worst-case arrival: node n finishes transition tr at time T
+// (50% crossing) with 10–90% transition time Slope.
+type Event struct {
+	T     float64
+	Slope float64
+	Valid bool
+
+	// Provenance for path tracing.
+	FromNode int             // predecessor node index, -1 for seeded inputs
+	FromTr   tech.Transition // predecessor transition
+	Via      *stage.Stage    // stage that produced this event (nil if seeded)
+}
+
+// Options tunes the analysis.
+type Options struct {
+	// Stage bounds path enumeration (see stage.Options).
+	Stage stage.Options
+	// MaxEventsPerNode guards against combinational feedback: after this
+	// many propagation rounds from one node's arrival the analyzer stops
+	// propagating it and records the node in Unbounded (default 150 —
+	// deep ripple structures legitimately re-propagate tens of times
+	// during longest-path relaxation).
+	MaxEventsPerNode int
+	// DefaultSlope is the transition time assumed for seeded inputs that
+	// do not specify one (default 1 ns).
+	DefaultSlope float64
+	// NoStaticPruning disables the switch-level sensitization pruning,
+	// yielding the fully pessimistic analysis (ablation knob).
+	NoStaticPruning bool
+	// LoopBreak lists nodes whose events are recorded but not propagated
+	// further — the user directive Crystal required to cut combinational
+	// feedback (latch internals) out of the worst-case iteration.
+	LoopBreak []*netlist.Node
+}
+
+func (o Options) fill() Options {
+	if o.MaxEventsPerNode <= 0 {
+		o.MaxEventsPerNode = 150
+	}
+	if o.DefaultSlope <= 0 {
+		o.DefaultSlope = 1e-9
+	}
+	return o
+}
+
+// Analyzer performs worst-case timing analysis of one network with one
+// delay model. Build with New, seed inputs, then Run.
+type Analyzer struct {
+	Net   *netlist.Network
+	Model delay.Model
+	Opts  Options
+
+	sim    *switchsim.Sim
+	static []switchsim.Value // settled values under fixed inputs
+
+	events [][2]Event // per node: [Rise, Fall]
+	count  [][2]int   // improvement counters
+
+	// Unbounded lists nodes whose arrival kept improving past the guard
+	// (combinational feedback); their times are lower bounds only.
+	Unbounded []*netlist.Node
+	// Truncated reports that stage enumeration hit a cap somewhere.
+	Truncated bool
+
+	seeded       []seedEvent
+	fixed        map[int]switchsim.Value
+	initial      []switchsim.Value // pre-settle stored values (clocked analyses)
+	loopBreak    map[int]bool
+	cachedOracle stage.Oracle
+	queue        eventHeap
+	queued       map[qkey]bool
+	stageEv      int // stages evaluated (cost metric)
+
+	// Stage enumeration caches: sensitization is static during Run, so a
+	// trigger's stages never change. Keys combine element index and
+	// transition; release stages also key on the released node.
+	throughCache map[[2]int][]*stage.Stage
+	releaseCache map[[2]int][]*stage.Stage
+	fromCache    map[[2]int][]*stage.Stage
+	groupCache   map[int][]*netlist.Node
+}
+
+type seedEvent struct {
+	node  *netlist.Node
+	tr    tech.Transition
+	t     float64
+	slope float64
+}
+
+type qkey struct {
+	node int
+	tr   tech.Transition
+}
+
+// qitem is a pending propagation in the event heap, stamped with the
+// arrival time it was queued at (stale entries are skipped at pop).
+type qitem struct {
+	qkey
+	t float64
+}
+
+// eventHeap is a min-heap of pending propagations ordered by arrival time.
+type eventHeap []qitem
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].t < h[j].t }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(qitem)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// New creates an analyzer for the network using the given delay model.
+func New(nw *netlist.Network, m delay.Model, opts Options) *Analyzer {
+	return &Analyzer{
+		Net:   nw,
+		Model: m,
+		Opts:  opts.fill(),
+		fixed: make(map[int]switchsim.Value),
+	}
+}
+
+// SetFixed pins a node to a constant logic value for sensitization (e.g. a
+// mode or enable input that does not toggle in the analyzed scenario).
+func (a *Analyzer) SetFixed(n *netlist.Node, v switchsim.Value) {
+	a.fixed[n.Index] = v
+}
+
+// SetInputEvent seeds a worst-case transition on a chip input: node n
+// finishes transition tr at time t with the given 10–90% slope (0 selects
+// Options.DefaultSlope).
+func (a *Analyzer) SetInputEvent(n *netlist.Node, tr tech.Transition, t, slope float64) error {
+	if n.Kind != netlist.KindInput {
+		return fmt.Errorf("core: %s is not marked as an input", n.Name)
+	}
+	if slope <= 0 {
+		slope = a.Opts.DefaultSlope
+	}
+	a.seeded = append(a.seeded, seedEvent{n, tr, t, slope})
+	return nil
+}
+
+// SetInputEventName is SetInputEvent by node name.
+func (a *Analyzer) SetInputEventName(name string, tr tech.Transition, t, slope float64) error {
+	n := a.Net.Lookup(name)
+	if n == nil {
+		return fmt.Errorf("core: no node named %q", name)
+	}
+	return a.SetInputEvent(n, tr, t, slope)
+}
+
+// Arrival returns the worst-case event for node n and transition tr.
+func (a *Analyzer) Arrival(n *netlist.Node, tr tech.Transition) Event {
+	if a.events == nil {
+		return Event{}
+	}
+	return a.events[n.Index][tr]
+}
+
+// StagesEvaluated reports how many stage/model evaluations Run performed —
+// the throughput metric of experiment E6.
+func (a *Analyzer) StagesEvaluated() int { return a.stageEv }
+
+// oracle returns the sensitization oracle, building it from settled
+// static values on first use (one closure per Run, not per event).
+func (a *Analyzer) oracle() stage.Oracle {
+	if a.Opts.NoStaticPruning || a.static == nil {
+		return nil // worst case
+	}
+	if a.cachedOracle != nil {
+		return a.cachedOracle
+	}
+	a.cachedOracle = func(t *netlist.Trans) stage.Conduction {
+		if t.AlwaysOn() {
+			return stage.On
+		}
+		g := a.static[t.Gate.Index]
+		if g == switchsim.VX {
+			return stage.Maybe
+		}
+		on := switchsim.FromBool(t.ConductsOn() == 1)
+		if g == on {
+			return stage.On
+		}
+		return stage.Off
+	}
+	return a.cachedOracle
+}
+
+// Run executes the analysis. It may be called once per analyzer.
+func (a *Analyzer) Run() error {
+	if a.events != nil {
+		return fmt.Errorf("core: Run already called")
+	}
+	if len(a.seeded) == 0 {
+		return fmt.Errorf("core: no input events seeded")
+	}
+	nw := a.Net
+	a.events = make([][2]Event, len(nw.Nodes))
+	a.count = make([][2]int, len(nw.Nodes))
+	a.queued = make(map[qkey]bool)
+	a.loopBreak = make(map[int]bool, len(a.Opts.LoopBreak))
+	for _, n := range a.Opts.LoopBreak {
+		a.loopBreak[n.Index] = true
+	}
+	a.throughCache = make(map[[2]int][]*stage.Stage)
+	a.releaseCache = make(map[[2]int][]*stage.Stage)
+	a.fromCache = make(map[[2]int][]*stage.Stage)
+	a.groupCache = make(map[int][]*netlist.Node)
+
+	// Static sensitization: settle the network with fixed values; nodes
+	// that receive events are left at X (they change during analysis).
+	a.sim = switchsim.New(nw)
+	for idx, v := range a.fixed {
+		if err := a.sim.SetInput(nw.Nodes[idx], v); err != nil {
+			return err
+		}
+	}
+	// Carried state (clocked analyses): seed stored values before the
+	// settle so latched nodes keep their phase-boundary levels.
+	if a.initial != nil {
+		for idx, v := range a.initial {
+			n := nw.Nodes[idx]
+			if n.IsRail() {
+				continue
+			}
+			if _, isFixed := a.fixed[idx]; isFixed {
+				continue
+			}
+			if err := a.sim.SetValue(n, v); err != nil {
+				return err
+			}
+		}
+	}
+	a.sim.Settle()
+	a.static = a.sim.Snapshot()
+	// Nodes downstream of event inputs cannot be trusted as static: the
+	// seeded inputs toggle. Re-settle with those inputs at X.
+	for _, s := range a.seeded {
+		if _, isFixed := a.fixed[s.node.Index]; isFixed {
+			return fmt.Errorf("core: node %s both fixed and seeded", s.node.Name)
+		}
+		if err := a.sim.SetInput(s.node, switchsim.VX); err != nil {
+			return err
+		}
+	}
+	a.sim.Settle()
+	a.static = a.sim.Snapshot()
+
+	for _, s := range a.seeded {
+		a.improve(s.node.Index, s.tr, Event{
+			T: s.t, Slope: s.slope, Valid: true, FromNode: -1,
+		})
+	}
+
+	for a.queue.Len() > 0 {
+		// Pop the earliest pending event: processing in time order makes
+		// most improvements final on first visit — longest-path over a
+		// DAG degenerates to one visit per node; reconvergence and
+		// cycles re-queue. The heap holds stale entries (an improvement
+		// re-pushes with the new time); only an entry matching the
+		// node's current arrival is live.
+		it := heap.Pop(&a.queue).(qitem)
+		if !a.queued[it.qkey] || it.t != a.events[it.node][it.tr].T {
+			continue // stale: a fresher entry is in the heap
+		}
+		a.queued[it.qkey] = false
+		// Feedback guard: counts propagation rounds, not improvements,
+		// so deep longest-path relaxation is unaffected while true
+		// cycles (which re-queue forever) are cut off.
+		a.count[it.node][it.tr]++
+		if a.count[it.node][it.tr] > a.Opts.MaxEventsPerNode {
+			if a.count[it.node][it.tr] == a.Opts.MaxEventsPerNode+1 {
+				a.Unbounded = append(a.Unbounded, a.Net.Nodes[it.node])
+			}
+			continue
+		}
+		a.propagate(it.node, it.tr)
+	}
+	return nil
+}
+
+// improve records a candidate event if it is later than the current one,
+// and queues the node for propagation. Returns whether it improved.
+func (a *Analyzer) improve(node int, tr tech.Transition, ev Event) bool {
+	cur := &a.events[node][tr]
+	if cur.Valid && ev.T <= cur.T {
+		return false
+	}
+	n := a.Net.Nodes[node]
+	if n.IsRail() {
+		return false
+	}
+	// Static pruning: a node pinned at a definite value cannot complete
+	// a transition to the opposite value... unless that value came from
+	// a precharge assumption (it is exactly what evaluation discharges).
+	if !a.Opts.NoStaticPruning {
+		sv := a.static[node]
+		want := switchsim.V1
+		if tr == tech.Fall {
+			want = switchsim.V0
+		}
+		if sv != switchsim.VX && sv != want && !n.Precharged {
+			return false
+		}
+	}
+	*cur = ev
+	k := qkey{node, tr}
+	// Always push: the heap tolerates stale entries (skipped at pop),
+	// and the new arrival time needs its own priority.
+	a.queued[k] = true
+	heap.Push(&a.queue, qitem{k, ev.T})
+	return true
+}
+
+// propagate fans an event out to its consequences.
+func (a *Analyzer) propagate(node int, tr tech.Transition) {
+	nw := a.Net
+	n := nw.Nodes[node]
+	if a.loopBreak[node] {
+		return // user directive: record the arrival, cut the fanout
+	}
+	ev := a.events[node][tr]
+	if !ev.Valid {
+		return
+	}
+	opt := a.Opts.Stage
+	opt.Oracle = a.oracle()
+
+	// 1. Gate consequences.
+	for _, t := range n.Gates {
+		if t.AlwaysOn() {
+			continue // depletion devices do not respond to their gate
+		}
+		turnsOn := (tr == tech.Rise) == (t.ConductsOn() == 1)
+		if turnsOn {
+			for _, targetTr := range []tech.Transition{tech.Rise, tech.Fall} {
+				key := [2]int{t.Index, int(targetTr)}
+				stages, ok := a.throughCache[key]
+				if !ok {
+					res := stage.Through(nw, t, targetTr, opt)
+					a.Truncated = a.Truncated || res.Truncated
+					stages = res.Stages
+					a.throughCache[key] = stages
+				}
+				for _, st := range stages {
+					a.applyStage(st, node, tr, ev)
+				}
+			}
+		} else {
+			// Release: every node channel-connected to the switched-off
+			// device may drift toward its remaining drivers (the NAND
+			// output released by a mid-stack input sits several hops
+			// from the device itself).
+			group, ok := a.groupCache[t.Index]
+			if !ok {
+				group = a.channelGroup(t)
+				a.groupCache[t.Index] = group
+			}
+			for _, m := range group {
+				for _, targetTr := range []tech.Transition{tech.Rise, tech.Fall} {
+					// Cache drive paths per (node, transition) — NOT per
+					// switched-off device: the same path set serves every
+					// release of the group, with paths through the off
+					// device filtered at apply time. (Enumerating per
+					// device multiplied the dominant stage-construction
+					// cost by the channel-group size.)
+					key := [2]int{m.Index, int(targetTr)}
+					stages, ok := a.releaseCache[key]
+					if !ok {
+						res := stage.ToNode(nw, m, targetTr, opt)
+						a.Truncated = a.Truncated || res.Truncated
+						stages = res.Stages
+						a.releaseCache[key] = stages
+					}
+					for _, st := range stages {
+						if stageUses(st, t) {
+							continue // that path died with the device
+						}
+						a.applyStage(st, node, tr, ev)
+					}
+				}
+			}
+		}
+	}
+
+	// 2. Channel consequences: an externally seeded input's own level
+	// change rides through already-conducting pass devices. Internal
+	// nodes do NOT re-propagate through the channel graph here — the
+	// stages that produced their events already targeted every node of
+	// the driven group, and re-propagating would bounce arrivals back
+	// and forth across channel-connected pairs forever.
+	if n.Kind == netlist.KindInput && len(n.Terms) > 0 {
+		key := [2]int{node, int(tr)}
+		stages, ok := a.fromCache[key]
+		if !ok {
+			res := stage.FromNode(nw, n, tr, opt)
+			a.Truncated = a.Truncated || res.Truncated
+			stages = res.Stages
+			a.fromCache[key] = stages
+		}
+		for _, st := range stages {
+			a.applyStage(st, node, tr, ev)
+		}
+	}
+}
+
+// channelGroup returns the non-source nodes channel-connected to either
+// terminal of t through possibly-conducting transistors (t itself
+// excluded), without expanding through strong sources.
+func (a *Analyzer) channelGroup(t *netlist.Trans) []*netlist.Node {
+	oracle := a.oracle()
+	seen := make(map[*netlist.Node]bool)
+	var out []*netlist.Node
+	var q []*netlist.Node
+	for _, m := range []*netlist.Node{t.A, t.B} {
+		if !m.IsSource() && !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+			q = append(q, m)
+		}
+	}
+	for len(q) > 0 {
+		n := q[0]
+		q = q[1:]
+		for _, tr := range n.Terms {
+			if tr == t {
+				continue
+			}
+			if oracle != nil && oracle(tr) == stage.Off {
+				continue
+			}
+			o := tr.Other(n)
+			if o == nil || seen[o] || o.IsSource() {
+				continue
+			}
+			seen[o] = true
+			out = append(out, o)
+			q = append(q, o)
+		}
+	}
+	return out
+}
+
+// stageUses reports whether the stage's path runs through transistor t.
+func stageUses(st *stage.Stage, t *netlist.Trans) bool {
+	for _, e := range st.Path {
+		if e.Trans == t {
+			return true
+		}
+	}
+	return false
+}
+
+// applyStage evaluates one stage against the triggering event and records
+// the resulting arrival at the stage target.
+func (a *Analyzer) applyStage(st *stage.Stage, fromNode int, fromTr tech.Transition, ev Event) {
+	// Source validity: an input-fed stage needs the source to plausibly
+	// hold the driving value; rails were filtered by the enumerator.
+	if st.Source.Kind == netlist.KindInput && !a.Opts.NoStaticPruning {
+		sv := a.static[st.Source.Index]
+		want := switchsim.V1
+		if st.Transition == tech.Fall {
+			want = switchsim.V0
+		}
+		if sv != switchsim.VX && sv != want {
+			return
+		}
+	}
+	a.stageEv++
+	r := a.Model.Evaluate(a.Net, st, ev.Slope)
+	if math.IsNaN(r.Delay) || r.Delay < 0 {
+		return
+	}
+	a.improve(st.Target.Index, st.Transition, Event{
+		T:        ev.T + r.Delay,
+		Slope:    r.Slope,
+		Valid:    true,
+		FromNode: fromNode,
+		FromTr:   fromTr,
+		Via:      st,
+	})
+}
+
+// Hop is one step of a traced critical path.
+type Hop struct {
+	Node  *netlist.Node
+	Tr    tech.Transition
+	Event Event
+}
+
+// Path is a traced critical path, listed from the seeding input to the
+// endpoint.
+type Path struct {
+	Hops []Hop
+}
+
+// End returns the endpoint hop.
+func (p *Path) End() Hop { return p.Hops[len(p.Hops)-1] }
+
+// Trace reconstructs the worst-case path ending at (n, tr), or nil if the
+// node has no arrival.
+func (a *Analyzer) Trace(n *netlist.Node, tr tech.Transition) *Path {
+	ev := a.Arrival(n, tr)
+	if !ev.Valid {
+		return nil
+	}
+	var rev []Hop
+	node, t := n.Index, tr
+	seen := make(map[qkey]bool)
+	for {
+		k := qkey{node, t}
+		if seen[k] {
+			// Provenance cycle (possible when the feedback guard fired
+			// mid-analysis): truncate the trace here.
+			break
+		}
+		seen[k] = true
+		e := a.events[node][t]
+		rev = append(rev, Hop{a.Net.Nodes[node], t, e})
+		if e.FromNode < 0 {
+			break
+		}
+		node, t = e.FromNode, e.FromTr
+	}
+	p := &Path{Hops: make([]Hop, len(rev))}
+	for i, h := range rev {
+		p.Hops[len(rev)-1-i] = h
+	}
+	return p
+}
+
+// CriticalPathsThrough returns the critical paths (as CriticalPaths) that
+// pass through the given node — Crystal's "why is this net late" query.
+func (a *Analyzer) CriticalPathsThrough(n *netlist.Node, k int) []*Path {
+	all := a.CriticalPaths(0)
+	var out []*Path
+	for _, p := range all {
+		for _, h := range p.Hops {
+			if h.Node == n {
+				out = append(out, p)
+				break
+			}
+		}
+		if k > 0 && len(out) >= k {
+			break
+		}
+	}
+	return out
+}
+
+// CriticalPaths returns the k latest-arriving endpoint events, traced.
+// Endpoints are the watched outputs if any are marked, otherwise every
+// non-rail node.
+func (a *Analyzer) CriticalPaths(k int) []*Path {
+	var ends []*netlist.Node
+	if outs := a.Net.Outputs(); len(outs) > 0 {
+		ends = outs
+	} else {
+		for _, n := range a.Net.Nodes {
+			if !n.IsRail() && n.Kind != netlist.KindInput {
+				ends = append(ends, n)
+			}
+		}
+	}
+	type cand struct {
+		n  *netlist.Node
+		tr tech.Transition
+		t  float64
+	}
+	var cs []cand
+	for _, n := range ends {
+		for _, tr := range []tech.Transition{tech.Rise, tech.Fall} {
+			if ev := a.Arrival(n, tr); ev.Valid {
+				cs = append(cs, cand{n, tr, ev.T})
+			}
+		}
+	}
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].t != cs[j].t {
+			return cs[i].t > cs[j].t
+		}
+		if cs[i].n.Name != cs[j].n.Name {
+			return cs[i].n.Name < cs[j].n.Name
+		}
+		return cs[i].tr < cs[j].tr
+	})
+	if k > 0 && len(cs) > k {
+		cs = cs[:k]
+	}
+	var out []*Path
+	for _, c := range cs {
+		if p := a.Trace(c.n, c.tr); p != nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/delay"
+	"repro/internal/gen"
+	"repro/internal/switchsim"
+	"repro/internal/tech"
+)
+
+// TestChipScaleAnalysis runs the verifier over the composed 16-bit chip
+// with the standard directives: a whole-design integration test of stage
+// caching, loop breaking, and deep-path relaxation.
+func TestChipScaleAnalysis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second whole-chip analysis")
+	}
+	p := tech.NMOS4()
+	nw, err := gen.Chip(p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, lb := gen.ChipDirectives(16)
+	var opts Options
+	for _, name := range lb {
+		n := nw.Lookup(name)
+		if n == nil {
+			t.Fatalf("directive node %s missing", name)
+		}
+		opts.LoopBreak = append(opts.LoopBreak, n)
+	}
+	a := New(nw, delay.NewSlope(delay.AnalyticTables(p)), opts)
+	for name, v := range fixed {
+		a.SetFixed(nw.Lookup(name), switchsim.FromBool(v == "1"))
+	}
+	for _, in := range nw.Inputs() {
+		if _, ok := fixed[in.Name]; ok {
+			continue
+		}
+		a.SetInputEvent(in, tech.Rise, 0, 0)
+		a.SetInputEvent(in, tech.Fall, 0, 0)
+	}
+	if err := a.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Unbounded) != 0 {
+		t.Errorf("chip with directives should have no unbounded nodes, got %d", len(a.Unbounded))
+	}
+	ev, path := a.MaxArrival()
+	if !ev.Valid {
+		t.Fatal("no critical arrival")
+	}
+	// The critical path runs through the multiplier array (the deepest
+	// structure) and must be a long, monotone chain.
+	if len(path.Hops) < 30 {
+		t.Errorf("critical path suspiciously short: %d hops", len(path.Hops))
+	}
+	for i := 1; i < len(path.Hops); i++ {
+		if path.Hops[i].Event.T < path.Hops[i-1].Event.T {
+			t.Fatalf("non-monotone critical path at hop %d", i)
+		}
+	}
+	if a.StagesEvaluated() == 0 {
+		t.Error("no stages evaluated")
+	}
+}

@@ -1,0 +1,275 @@
+// The three delay models. Each maps (stage, input slope) to a delay and an
+// output slope; the verifier propagates both.
+package delay
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/netlist"
+	"repro/internal/rctree"
+	"repro/internal/stage"
+	"repro/internal/tech"
+)
+
+// Result is a stage evaluation: the 50%-to-50% delay from the triggering
+// event to the target's crossing, and the estimated 10–90% transition time
+// of the target, which feeds the slope model of successor stages.
+type Result struct {
+	Delay float64
+	Slope float64
+}
+
+// Model is a switch-level delay model. Implementations must be safe for
+// concurrent use (they are stateless over their tables).
+type Model interface {
+	// Name identifies the model in reports ("lumped", "rc", "slope").
+	Name() string
+	// Evaluate computes the stage's delay given the 10–90% transition
+	// time of the triggering input. Models that ignore input slope
+	// (lumped, rc) accept and discard it.
+	Evaluate(nw *netlist.Network, st *stage.Stage, inSlope float64) Result
+}
+
+// elemR returns the effective resistance of a path element under the
+// model's tables, honoring per-element overrides (wire resistors).
+func elemR(tb *Tables, t *netlist.Trans, tr tech.Transition) float64 {
+	if t.ROverride > 0 {
+		return t.ROverride
+	}
+	return tb.R(t.Type, tr, t.W, t.L)
+}
+
+// Lumped is the paper's first model: total series resistance times total
+// capacitance. Fast, simple, and pessimistic on distributed structures —
+// it charges all capacitance through all resistance.
+type Lumped struct {
+	T *Tables
+}
+
+// NewLumped returns the lumped-RC model over the given tables.
+func NewLumped(t *Tables) *Lumped { return &Lumped{T: t} }
+
+// Name implements Model.
+func (m *Lumped) Name() string { return "lumped" }
+
+// Evaluate implements Model: delay = ΣR × ΣC.
+func (m *Lumped) Evaluate(nw *netlist.Network, st *stage.Stage, _ float64) Result {
+	r := 0.0
+	for _, e := range st.Path {
+		r += elemR(m.T, e.Trans, st.Transition)
+	}
+	c := st.TotalC(nw)
+	d := r * c
+	// Output transition estimate: single-pole shape over the lumped τ.
+	tf := math.Log(9)
+	if drv := driverElement(st); drv >= 0 {
+		tf = m.T.Curve(st.Path[drv].Trans.Type, st.Transition).TFactorAt(0)
+	}
+	return Result{Delay: d, Slope: tf * d}
+}
+
+// RC is the paper's second model: the stage as a distributed RC tree, with
+// the Elmore delay at the target as the estimate. Asymptotically correct
+// for pass-transistor chains (≈ n²/2 growth instead of the lumped n²) but
+// still blind to input slope.
+type RC struct {
+	T *Tables
+}
+
+// NewRC returns the distributed-RC model over the given tables.
+func NewRC(t *Tables) *RC { return &RC{T: t} }
+
+// Name implements Model.
+func (m *RC) Name() string { return "rc" }
+
+// Evaluate implements Model.
+func (m *RC) Evaluate(nw *netlist.Network, st *stage.Stage, _ float64) Result {
+	d := m.elmore(nw, st, nil)
+	tf := math.Log(9)
+	if drv := driverElement(st); drv >= 0 {
+		tf = m.T.Curve(st.Path[drv].Trans.Type, st.Transition).TFactorAt(0)
+	}
+	return Result{Delay: d, Slope: tf * d}
+}
+
+// elmore computes the Elmore delay of the stage target with this model's
+// effective resistances, path-element resistances optionally scaled by
+// rscale. Because the target lies on the main path, side-branch
+// resistances never enter its Elmore sum — each path element contributes
+// R·(all capacitance at or beyond it, side loads included) — so a single
+// backwards pass suffices and no tree is built. stageTree remains the
+// reference implementation (the equivalence is pinned by a test).
+func (m *RC) elmore(nw *netlist.Network, st *stage.Stage, rscale []float64) float64 {
+	n := len(st.Path)
+	if n == 0 {
+		return 0
+	}
+	// Capacitance hanging at each path position i (1-based element i
+	// ends at node i): the node's own cap plus side loads attached there.
+	capAt := make([]float64, n+1)
+	for i := 1; i <= n; i++ {
+		if st.PathCap != nil {
+			capAt[i] = st.PathCap[i-1]
+		} else {
+			capAt[i] = nw.NodeCap(st.Path[i-1].To)
+		}
+	}
+	for _, sl := range st.Side {
+		if sl.Attach >= 1 {
+			capAt[sl.Attach] += sl.C
+		}
+		// Attach 0 hangs at the ideal source: invisible to the target.
+	}
+	sum := 0.0
+	acc := 0.0
+	for i := n; i >= 1; i-- {
+		acc += capAt[i]
+		e := st.Path[i-1]
+		r := elemR(m.T, e.Trans, st.Transition)
+		if rscale != nil && rscale[i-1] > 0 {
+			r *= rscale[i-1]
+		}
+		sum += r * acc
+	}
+	return sum
+}
+
+// stageTree builds the stage's RC tree using table resistances (not the
+// raw technology numbers), so characterized tables flow through every
+// model identically.
+func stageTree(tb *Tables, nw *netlist.Network, st *stage.Stage, rscale []float64) (*rctree.Tree, []int) {
+	t := rctree.New(0, st.Source.Name)
+	idx := make([]int, len(st.Path)+1)
+	for i, e := range st.Path {
+		r := elemR(tb, e.Trans, st.Transition)
+		if rscale != nil && rscale[i] > 0 {
+			r *= rscale[i]
+		}
+		idx[i+1] = t.Add(idx[i], r, nw.NodeCap(e.To), e.To.Name)
+	}
+	for _, sl := range st.Side {
+		if sl.R <= 0 {
+			t.AddCap(idx[sl.Attach], sl.C)
+			continue
+		}
+		t.Add(idx[sl.Attach], sl.R, sl.C, sl.Node.Name)
+	}
+	return t, idx
+}
+
+// driverElement picks the path element whose slope curve governs the
+// stage: the trigger if it lies on the path, otherwise the element
+// adjacent to the source (the driver — e.g. the depletion pullup of a
+// release stage).
+func driverElement(st *stage.Stage) int {
+	if st.Trigger != nil {
+		for i, e := range st.Path {
+			if e.Trans == st.Trigger {
+				return i
+			}
+		}
+	}
+	if len(st.Path) > 0 {
+		return 0
+	}
+	return -1
+}
+
+// Slope is the paper's headline model. The effective resistance of the
+// stage's driving transistor is not constant: it is the step-input value
+// multiplied by an empirical function of the slope ratio
+//
+//	r = Tin / τstep
+//
+// where Tin is the input's 10–90% transition time and τstep the stage's
+// intrinsic (step-input) Elmore delay. The multiplier curves are
+// characterized per device type and transition from the circuit-level
+// reference, exactly as the paper characterized them from SPICE. The
+// output transition time comes from the companion TFactor curve, so slope
+// information propagates stage to stage.
+type Slope struct {
+	T *Tables
+}
+
+// NewSlope returns the slope model over the given tables.
+func NewSlope(t *Tables) *Slope { return &Slope{T: t} }
+
+// Name implements Model.
+func (m *Slope) Name() string { return "slope" }
+
+// Evaluate implements Model.
+func (m *Slope) Evaluate(nw *netlist.Network, st *stage.Stage, inSlope float64) Result {
+	rcModel := RC{T: m.T}
+	tauStep := rcModel.elmore(nw, st, nil)
+	drv := driverElement(st)
+	if drv < 0 || tauStep <= 0 {
+		return Result{Delay: tauStep, Slope: math.Log(9) * tauStep}
+	}
+	dev := st.Path[drv].Trans.Type
+	curve := m.T.Curve(dev, st.Transition)
+	ratio := 0.0
+	if inSlope > 0 {
+		ratio = inSlope / tauStep
+	}
+	mult := curve.MultAt(ratio)
+	rscale := make([]float64, len(st.Path))
+	for i := range rscale {
+		rscale[i] = 1
+	}
+	rscale[drv] = mult
+	d := rcModel.elmore(nw, st, rscale)
+	out := curve.TFactorAt(ratio) * tauStep
+	return Result{Delay: d, Slope: out}
+}
+
+// Bounded wraps the RC model's tree with the Rubinstein–Penfield–Horowitz
+// bounds: Evaluate returns the Elmore point estimate while Bounds exposes
+// the certificate interval. It exists for the E8 ablation.
+type Bounded struct {
+	T *Tables
+	// V is the crossing fraction for the bounds (default 0.5).
+	V float64
+}
+
+// Name implements Model.
+func (m *Bounded) Name() string { return "rc-bounded" }
+
+// Evaluate implements Model (identical to RC's point estimate).
+func (m *Bounded) Evaluate(nw *netlist.Network, st *stage.Stage, in float64) Result {
+	return (&RC{T: m.T}).Evaluate(nw, st, in)
+}
+
+// Bounds returns the RPH lower/upper bounds on the target's crossing time.
+func (m *Bounded) Bounds(nw *netlist.Network, st *stage.Stage) (lo, hi float64, err error) {
+	v := m.V
+	if v <= 0 || v >= 1 {
+		v = 0.5
+	}
+	t, idx := stageTree(m.T, nw, st, nil)
+	if err := t.Validate(); err != nil {
+		return 0, 0, fmt.Errorf("stage tree: %w", err)
+	}
+	lo, hi = t.DelayBounds(idx[len(idx)-1], v)
+	return lo, hi, nil
+}
+
+// ByName returns the standard model with the given name over tables t.
+func ByName(name string, t *Tables) (Model, error) {
+	switch name {
+	case "lumped":
+		return NewLumped(t), nil
+	case "rc", "distributed":
+		return NewRC(t), nil
+	case "slope":
+		return NewSlope(t), nil
+	case "rc-bounded":
+		return &Bounded{T: t}, nil
+	}
+	return nil, fmt.Errorf("delay: unknown model %q (want lumped, rc, slope)", name)
+}
+
+// All returns one instance of each primary model, in fidelity order.
+func All(t *Tables) []Model {
+	return []Model{NewLumped(t), NewRC(t), NewSlope(t)}
+}

@@ -1,0 +1,219 @@
+package erc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+func findRule(fs []Finding, rule string) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Rule == rule {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func TestCleanCircuitsAreClean(t *testing.T) {
+	p := tech.NMOS4()
+	for _, spec := range []string{"invchain:4", "ripple:2", "decoder:2"} {
+		nw, err := gen.Build(spec, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs := Check(nw, Options{})
+		for _, f := range fs {
+			if f.Severity == Error {
+				t.Errorf("%s: unexpected error finding: %s", spec, f)
+			}
+		}
+	}
+}
+
+func TestStaticShortDetected(t *testing.T) {
+	p := tech.NMOS4()
+	nw := netlist.New("short", p)
+	mid := nw.Node("mid")
+	// Two always-on depletion devices in series from Vdd to GND.
+	nw.AddTrans(tech.NDep, mid, nw.Vdd(), mid, 0, 0)
+	nw.AddTrans(tech.NDep, mid, mid, nw.GND(), 0, 0)
+	fs := Check(nw, Options{})
+	if len(findRule(fs, "static-short")) == 0 {
+		t.Errorf("static short not detected: %v", fs)
+	}
+}
+
+func TestStaticShortThroughWire(t *testing.T) {
+	p := tech.NMOS4()
+	nw := netlist.New("wshort", p)
+	mid := nw.Node("mid")
+	nw.AddResistor(nw.Vdd(), mid, 1e3)
+	nw.AddResistor(mid, nw.GND(), 1e3)
+	fs := Check(nw, Options{})
+	if len(findRule(fs, "static-short")) == 0 {
+		t.Errorf("resistive supply short not detected: %v", fs)
+	}
+}
+
+func TestFloatingGateDetected(t *testing.T) {
+	p := tech.NMOS4()
+	nw := netlist.New("float", p)
+	ghost := nw.Node("ghost") // gates a device, driven by nothing
+	out := nw.Node("out")
+	nw.AddTrans(tech.NEnh, ghost, out, nw.GND(), 0, 0)
+	nw.AddTrans(tech.NDep, out, nw.Vdd(), out, 0, 4*p.MinL)
+	fs := Check(nw, Options{})
+	got := findRule(fs, "floating")
+	if len(got) != 1 || got[0].Node.Name != "ghost" {
+		t.Errorf("floating gate not pinned to ghost: %v", fs)
+	}
+}
+
+func TestRatioViolationDetected(t *testing.T) {
+	p := tech.NMOS4()
+	nw := netlist.New("ratio", p)
+	in, out := nw.Node("in"), nw.Node("out")
+	nw.MarkInput(in)
+	// Inverter whose pullup is drawn four squares wide: its resistance
+	// matches the pulldown's and the output low level is ruined.
+	nw.AddTrans(tech.NEnh, in, out, nw.GND(), 0, 0)
+	nw.AddTrans(tech.NDep, out, nw.Vdd(), out, 4*p.MinW, p.MinL)
+	fs := Check(nw, Options{})
+	if len(findRule(fs, "ratio")) == 0 {
+		t.Errorf("ratio violation not detected: %v", fs)
+	}
+
+	// A proper 4:1 inverter is clean.
+	nw2 := netlist.New("ok", p)
+	in2, out2 := nw2.Node("in"), nw2.Node("out")
+	nw2.MarkInput(in2)
+	nw2.AddTrans(tech.NEnh, in2, out2, nw2.GND(), 0, 0)
+	nw2.AddTrans(tech.NDep, out2, nw2.Vdd(), out2, 0, 4*p.MinL)
+	if got := findRule(Check(nw2, Options{}), "ratio"); len(got) != 0 {
+		t.Errorf("4:1 inverter flagged: %v", got)
+	}
+}
+
+func TestRatioSkippedForCMOS(t *testing.T) {
+	p := tech.CMOS3()
+	nw, err := gen.Build("invchain:3", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := findRule(Check(nw, Options{}), "ratio"); len(got) != 0 {
+		t.Errorf("CMOS should not be ratio-checked: %v", got)
+	}
+}
+
+func TestThresholdDropDetected(t *testing.T) {
+	p := tech.NMOS4()
+	nw := netlist.New("drop", p)
+	in, ctl := nw.Node("in"), nw.Node("ctl")
+	nw.MarkInput(in)
+	nw.MarkInput(ctl)
+	// in → pass → mid: mid is degraded high.
+	mid := nw.Node("mid")
+	nw.AddTrans(tech.NEnh, ctl, in, mid, 0, 0)
+	// mid gates a second pass device between two signal nodes.
+	x, y := nw.Node("x"), nw.Node("y")
+	nw.MarkInput(x)
+	nw.AddTrans(tech.NEnh, mid, x, y, 0, 0)
+	fs := Check(nw, Options{})
+	got := findRule(fs, "threshold-drop")
+	if len(got) != 1 || got[0].Node.Name != "mid" {
+		t.Errorf("threshold drop not pinned to mid: %v", fs)
+	}
+}
+
+func TestThresholdDropNotFlaggedForRestored(t *testing.T) {
+	p := tech.NMOS4()
+	nw := netlist.New("restored", p)
+	in, ctl := nw.Node("in"), nw.Node("ctl")
+	nw.MarkInput(in)
+	nw.MarkInput(ctl)
+	mid := nw.Node("mid")
+	nw.AddTrans(tech.NEnh, ctl, in, mid, 0, 0)
+	// Restore mid with a depletion pullup: no longer degraded.
+	nw.AddTrans(tech.NDep, mid, nw.Vdd(), mid, 0, 4*p.MinL)
+	x, y := nw.Node("x"), nw.Node("y")
+	nw.MarkInput(x)
+	nw.AddTrans(tech.NEnh, mid, x, y, 0, 0)
+	if got := findRule(Check(nw, Options{}), "threshold-drop"); len(got) != 0 {
+		t.Errorf("restored node flagged: %v", got)
+	}
+}
+
+func TestChargeSharingDetected(t *testing.T) {
+	p := tech.NMOS4()
+	nw := netlist.New("share", p)
+	g := nw.Node("g")
+	nw.MarkInput(g)
+	dyn := nw.Node("dyn")
+	dyn.Precharged = true
+	// Small dynamic node connected through a pass device to a big
+	// parasitic node.
+	big := nw.Node("big")
+	nw.AddCap(big, 1e-12)
+	nw.AddTrans(tech.NEnh, g, dyn, big, 0, 0)
+	fs := Check(nw, Options{})
+	got := findRule(fs, "charge-sharing")
+	if len(got) != 1 || got[0].Node.Name != "dyn" {
+		t.Errorf("charge sharing not pinned to dyn: %v", fs)
+	}
+
+	// A heavily loaded bus sharing with one small node is fine.
+	nw2 := netlist.New("ok", p)
+	g2 := nw2.Node("g")
+	nw2.MarkInput(g2)
+	bus := nw2.Node("bus")
+	bus.Precharged = true
+	nw2.AddCap(bus, 1e-12)
+	small := nw2.Node("small")
+	nw2.AddTrans(tech.NEnh, g2, bus, small, 0, 0)
+	if got := findRule(Check(nw2, Options{}), "charge-sharing"); len(got) != 0 {
+		t.Errorf("robust bus flagged: %v", got)
+	}
+}
+
+func TestFormatAndOrdering(t *testing.T) {
+	p := tech.NMOS4()
+	nw := netlist.New("multi", p)
+	// One error (floating) + one warning (ratio).
+	ghost, out, in := nw.Node("ghost"), nw.Node("out"), nw.Node("in")
+	nw.MarkInput(in)
+	nw.AddTrans(tech.NEnh, ghost, out, nw.GND(), 0, 0)
+	nw.AddTrans(tech.NEnh, in, out, nw.GND(), 0, 0)
+	nw.AddTrans(tech.NDep, out, nw.Vdd(), out, 4*p.MinW, p.MinL)
+	fs := Check(nw, Options{})
+	if len(fs) < 2 {
+		t.Fatalf("want ≥2 findings, got %v", fs)
+	}
+	if fs[0].Severity != Error {
+		t.Error("errors should sort first")
+	}
+	rep := Format(fs)
+	if !strings.Contains(rep, "finding(s)") || !strings.Contains(rep, "floating") {
+		t.Errorf("format:\n%s", rep)
+	}
+	if Format(nil) != "electrical rules: clean\n" {
+		t.Error("clean format wrong")
+	}
+}
+
+func TestBusGeneratorChargeSharing(t *testing.T) {
+	// The generated precharged bus should be clean (its bus cap is big)
+	// while a deliberately starved variant trips the rule.
+	p := tech.NMOS4()
+	nw, err := gen.PrechargedBus(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := findRule(Check(nw, Options{}), "charge-sharing"); len(got) != 0 {
+		t.Errorf("generated bus flagged: %v", got)
+	}
+}

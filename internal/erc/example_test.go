@@ -1,0 +1,26 @@
+package erc_test
+
+import (
+	"fmt"
+
+	"repro/internal/erc"
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+// Example checks a deliberately broken inverter: the pullup is drawn as
+// strong as the pulldown, ruining the output low level.
+func Example() {
+	p := tech.NMOS4()
+	nw := netlist.New("bad-inv", p)
+	in, out := nw.Node("in"), nw.Node("out")
+	nw.MarkInput(in)
+	nw.AddTrans(tech.NEnh, in, out, nw.GND(), 0, 0)
+	nw.AddTrans(tech.NDep, out, nw.Vdd(), out, 4*p.MinW, p.MinL)
+
+	for _, f := range erc.Check(nw, erc.Options{}) {
+		fmt.Printf("%s %s at %s\n", f.Severity, f.Rule, f.Node.Name)
+	}
+	// Output:
+	// warning ratio at out
+}

@@ -1,0 +1,170 @@
+// Larger arithmetic blocks: the scaling workloads for the capacity
+// experiment (E6) beyond the basic datapath set.
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+// ArrayMultiplier builds a w×w unsigned array multiplier: a grid of AND
+// partial-product gates summed by a carry-save full-adder array with a
+// ripple final row. Ports: "a0".."a(w-1)", "b0".."b(w-1)"; outputs
+// "p0".."p(2w-1)". Transistor count grows as w², making it the largest
+// standard block.
+func ArrayMultiplier(p *tech.Params, w int) (*netlist.Network, error) {
+	if w < 2 || w > 24 {
+		return nil, fmt.Errorf("gen: multiplier width must be in 2..24, got %d", w)
+	}
+	l := NewLib(fmt.Sprintf("arraymul-%d", w), p)
+	a := make([]*netlist.Node, w)
+	b := make([]*netlist.Node, w)
+	for i := 0; i < w; i++ {
+		a[i] = l.NW.Node(fmt.Sprintf("a%d", i))
+		b[i] = l.NW.Node(fmt.Sprintf("b%d", i))
+		l.NW.MarkInput(a[i])
+		l.NW.MarkInput(b[i])
+	}
+	// Partial products pp[i][j] = a[j] AND b[i].
+	pp := make([][]*netlist.Node, w)
+	for i := 0; i < w; i++ {
+		pp[i] = make([]*netlist.Node, w)
+		for j := 0; j < w; j++ {
+			pp[i][j] = l.Fresh(fmt.Sprintf("pp_%d_%d", i, j))
+			l.And(pp[i][j], a[j], b[i])
+		}
+	}
+	outs := make([]*netlist.Node, 2*w)
+	for i := range outs {
+		outs[i] = l.NW.Node(fmt.Sprintf("p%d", i))
+		l.NW.MarkOutput(outs[i])
+	}
+	// Carry-save reduction, row by row: row i adds pp[i] into the
+	// running sum with its carries deferred one column left.
+	zero := l.Fresh("zero")
+	l.Nor(zero, l.NW.Vdd())           // constant 0 gate (input high → output low)
+	sum := make([]*netlist.Node, w)   // running sum bits, column j holds weight i+j
+	carry := make([]*netlist.Node, w) // deferred carries
+	for j := 0; j < w; j++ {
+		sum[j] = pp[0][j]
+		carry[j] = zero
+	}
+	// p0 peels off immediately.
+	l.Buffer(sum[0], outs[0], 1)
+	for i := 1; i < w; i++ {
+		newSum := make([]*netlist.Node, w)
+		newCarry := make([]*netlist.Node, w)
+		for j := 0; j < w; j++ {
+			// Column j of row i adds pp[i][j], sum[j+1] (shifted) and
+			// carry[j].
+			var shifted *netlist.Node
+			if j+1 < w {
+				shifted = sum[j+1]
+			} else {
+				shifted = zero
+			}
+			s := l.Fresh(fmt.Sprintf("s_%d_%d", i, j))
+			c := l.Fresh(fmt.Sprintf("c_%d_%d", i, j))
+			l.FullAdder(s, c, pp[i][j], shifted, carry[j])
+			newSum[j] = s
+			newCarry[j] = c
+		}
+		sum, carry = newSum, newCarry
+		l.Buffer(sum[0], outs[i], 1)
+	}
+	// Final ripple row combines the remaining sum and carry vectors.
+	rip := zero
+	for j := 1; j < w; j++ {
+		s := l.Fresh(fmt.Sprintf("fin_s%d", j))
+		c := l.Fresh(fmt.Sprintf("fin_c%d", j))
+		l.FullAdder(s, c, sum[j], carry[j-1], rip)
+		l.Buffer(s, outs[w+j-1], 1)
+		rip = c
+	}
+	// Top bit: final carry plus the last deferred carry.
+	top := l.Fresh("top")
+	l.Or(top, rip, carry[w-1])
+	l.Buffer(top, outs[2*w-1], 1)
+	return l.NW, nil
+}
+
+// CarrySelectAdder builds a w-bit carry-select adder with the given block
+// size: each block computes both carry-in polarities with ripple adders
+// and selects with pass muxes — the structure that trades area for the
+// ripple critical path. Ports as RippleAdder.
+func CarrySelectAdder(p *tech.Params, w, block int) (*netlist.Network, error) {
+	if w < 1 {
+		return nil, fmt.Errorf("gen: adder width must be >= 1, got %d", w)
+	}
+	if block < 1 || block > w {
+		block = 4
+		if block > w {
+			block = w
+		}
+	}
+	l := NewLib(fmt.Sprintf("carrysel-%d-%d", w, block), p)
+	carry := l.NW.Node("cin")
+	l.NW.MarkInput(carry)
+	for lo := 0; lo < w; lo += block {
+		hi := lo + block
+		if hi > w {
+			hi = w
+		}
+		n := hi - lo
+		// Two speculative ripple chains: carry-in 0 and carry-in 1.
+		zero := l.Fresh("czero")
+		l.Nor(zero, l.NW.Vdd())
+		one := l.Fresh("cone")
+		l.Nand(one, l.NW.GND())
+		spec := [2][]*netlist.Node{} // per polarity: sums then carry-out
+		for pol := 0; pol < 2; pol++ {
+			c := zero
+			if pol == 1 {
+				c = one
+			}
+			for i := 0; i < n; i++ {
+				bit := lo + i
+				a := l.NW.Node(fmt.Sprintf("a%d", bit))
+				b := l.NW.Node(fmt.Sprintf("b%d", bit))
+				l.NW.MarkInput(a)
+				l.NW.MarkInput(b)
+				s := l.Fresh(fmt.Sprintf("s%d_p%d", bit, pol))
+				co := l.Fresh(fmt.Sprintf("co%d_p%d", bit, pol))
+				l.FullAdder(s, co, a, b, c)
+				spec[pol] = append(spec[pol], s)
+				c = co
+			}
+			spec[pol] = append(spec[pol], c)
+		}
+		// Select with the real block carry-in.
+		selB := l.Fresh("selb")
+		l.Inverter(carry, selB, 1)
+		for i := 0; i < n; i++ {
+			out := l.NW.Node(fmt.Sprintf("s%d", lo+i))
+			l.NW.MarkOutput(out)
+			bus := l.Fresh("selbus")
+			l.PassGateDir(carry, selB, spec[1][i], bus)
+			l.PassGateDir(selB, carry, spec[0][i], bus)
+			mid := l.Fresh("selrest")
+			l.Inverter(bus, mid, 1)
+			l.Inverter(mid, out, 1)
+		}
+		var next *netlist.Node
+		if hi == w {
+			next = l.NW.Node("cout")
+			l.NW.MarkOutput(next)
+		} else {
+			next = l.Fresh(fmt.Sprintf("blkc%d", hi))
+		}
+		busC := l.Fresh("selbusC")
+		l.PassGateDir(carry, selB, spec[1][n], busC)
+		l.PassGateDir(selB, carry, spec[0][n], busC)
+		midC := l.Fresh("selrestC")
+		l.Inverter(busC, midC, 1)
+		l.Inverter(midC, next, 1)
+		carry = next
+	}
+	return l.NW, nil
+}

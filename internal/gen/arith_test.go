@@ -1,0 +1,166 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/switchsim"
+	"repro/internal/tech"
+)
+
+func TestArrayMultiplierExhaustiveSmall(t *testing.T) {
+	both(t, func(t *testing.T, p *tech.Params) {
+		const w = 3
+		nw, err := ArrayMultiplier(p, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkNet(t, nw)
+		s := switchsim.New(nw)
+		for a := 0; a < 1<<w; a++ {
+			for b := 0; b < 1<<w; b++ {
+				setBits(t, s, "a", w, a)
+				setBits(t, s, "b", w, b)
+				s.Settle()
+				got, ok := readBits(t, s, "p", 2*w)
+				if !ok {
+					t.Fatalf("mul(%d,%d): X in product", a, b)
+				}
+				if want := a * b; got != want {
+					t.Fatalf("mul(%d,%d) = %d, want %d", a, b, got, want)
+				}
+			}
+		}
+	})
+}
+
+func TestArrayMultiplierVectors4(t *testing.T) {
+	// Spot vectors at width 4 (exhaustive is 256 settles × 2 tech — ok,
+	// but keep the runtime balanced).
+	p := tech.NMOS4()
+	const w = 4
+	nw, err := ArrayMultiplier(p, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkNet(t, nw)
+	s := switchsim.New(nw)
+	vectors := [][2]int{{0, 0}, {1, 1}, {15, 15}, {9, 7}, {12, 5}, {3, 11}, {8, 8}}
+	for _, v := range vectors {
+		setBits(t, s, "a", w, v[0])
+		setBits(t, s, "b", w, v[1])
+		s.Settle()
+		got, ok := readBits(t, s, "p", 2*w)
+		if !ok {
+			t.Fatalf("mul(%d,%d): X in product", v[0], v[1])
+		}
+		if want := v[0] * v[1]; got != want {
+			t.Errorf("mul(%d,%d) = %d, want %d", v[0], v[1], got, want)
+		}
+	}
+}
+
+func TestCarrySelectAdderExhaustive(t *testing.T) {
+	both(t, func(t *testing.T, p *tech.Params) {
+		const w = 4
+		nw, err := CarrySelectAdder(p, w, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkNet(t, nw)
+		s := switchsim.New(nw)
+		for a := 0; a < 1<<w; a++ {
+			for b := 0; b < 1<<w; b++ {
+				for c := 0; c < 2; c++ {
+					setBits(t, s, "a", w, a)
+					setBits(t, s, "b", w, b)
+					s.SetInputName("cin", switchsim.FromBool(c == 1))
+					s.Settle()
+					sum, ok := readBits(t, s, "s", w)
+					if !ok {
+						t.Fatalf("add(%d,%d,%d): X in sum", a, b, c)
+					}
+					co, ok := s.ValueName("cout").Bool()
+					if !ok {
+						t.Fatalf("add(%d,%d,%d): X carry", a, b, c)
+					}
+					got := sum
+					if co {
+						got |= 1 << w
+					}
+					if want := a + b + c; got != want {
+						t.Fatalf("add(%d,%d,%d) = %d, want %d", a, b, c, got, want)
+					}
+				}
+			}
+		}
+	})
+}
+
+func TestArithGeneratorErrors(t *testing.T) {
+	p := tech.NMOS4()
+	if _, err := ArrayMultiplier(p, 1); err == nil {
+		t.Error("ArrayMultiplier(1) should fail")
+	}
+	if _, err := ArrayMultiplier(p, 99); err == nil {
+		t.Error("ArrayMultiplier(99) should fail")
+	}
+	if _, err := CarrySelectAdder(p, 0, 2); err == nil {
+		t.Error("CarrySelectAdder(0) should fail")
+	}
+	// A degenerate block size is clamped, not rejected.
+	if _, err := CarrySelectAdder(p, 3, 100); err != nil {
+		t.Errorf("block clamp failed: %v", err)
+	}
+}
+
+func TestRegistryBuild(t *testing.T) {
+	p := tech.NMOS4()
+	specs := []string{
+		"invchain:4", "invchain:4,2", "fanout:3", "passchain:5",
+		"superbuffer", "bus:2", "ripple:4", "manchester:4", "barrel:4",
+		"decoder:3", "alu:2", "regfile:2,2", "pla:4,6,2", "pla:4,6,2,9",
+		"arraymul:3", "carrysel:8,4", "carrysel:8",
+	}
+	for _, sp := range specs {
+		nw, err := Build(sp, p)
+		if err != nil {
+			t.Errorf("Build(%q): %v", sp, err)
+			continue
+		}
+		if err := nw.Check(); err != nil {
+			t.Errorf("Build(%q): %v", sp, err)
+		}
+	}
+	bad := []string{"nope", "alu", "alu:x", "regfile:2"}
+	for _, sp := range bad {
+		if _, err := Build(sp, p); err == nil {
+			t.Errorf("Build(%q) should fail", sp)
+		}
+	}
+	if len(List()) < 12 {
+		t.Errorf("registry lists %d circuits", len(List()))
+	}
+	// List is sorted.
+	ls := List()
+	for i := 1; i < len(ls); i++ {
+		if ls[i].Name < ls[i-1].Name {
+			t.Error("List not sorted")
+		}
+	}
+}
+
+func TestArrayMultiplierScales(t *testing.T) {
+	p := tech.NMOS4()
+	t4, err := ArrayMultiplier(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t8, err := ArrayMultiplier(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := float64(t8.Stats().Trans) / float64(t4.Stats().Trans)
+	if r < 3 || r > 5.5 {
+		t.Errorf("8/4 transistor ratio = %g, want ≈ 4 (w² growth)", r)
+	}
+}

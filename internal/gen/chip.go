@@ -1,0 +1,144 @@
+// A chip-scale composition: the reproduction stand-in for the real
+// processor chips (RISC-class datapaths) the Crystal work was evaluated
+// on. Tens of thousands of transistors assembled from the block
+// generators with netlist.Import.
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+// Chip builds a processor-datapath-scale design:
+//
+//   - a w-bit datapath (decoder + 8×w register file + ALU + barrel shifter)
+//   - a (w/2)×(w/2) array multiplier fed from the datapath operand bus
+//   - a w-bit carry-select adder as an address unit
+//   - a control PLA driving the function selects
+//
+// Widths of 16–32 give 15k–50k transistors. Ports follow the component
+// conventions with prefixes: datapath ports are top-level ("b0", "sh0",
+// "addr0", …); the PLA inputs are "op0".."op7".
+func Chip(p *tech.Params, w int) (*netlist.Network, error) {
+	if w < 4 || w%2 != 0 || w > 32 {
+		return nil, fmt.Errorf("gen: chip width must be even, in 4..32, got %d", w)
+	}
+	top := netlist.New(fmt.Sprintf("chip-%d", w), p)
+
+	dp, err := Datapath(p, w)
+	if err != nil {
+		return nil, err
+	}
+	// Datapath ports become top-level ports directly (connect to same
+	// names).
+	conn := map[string]string{}
+	for _, n := range dp.Nodes {
+		if n.Kind == netlist.KindInput || n.Kind == netlist.KindOutput {
+			conn[n.Name] = n.Name
+		}
+	}
+	// Remember the datapath port directions before the merge.
+	kinds := map[string]netlist.NodeKind{}
+	for _, n := range dp.Nodes {
+		if n.Kind == netlist.KindInput || n.Kind == netlist.KindOutput {
+			kinds[n.Name] = n.Kind
+		}
+	}
+	if err := top.Import(dp, "dp_", conn); err != nil {
+		return nil, err
+	}
+	for name, k := range kinds {
+		top.Node(name).Kind = k
+	}
+
+	// Multiplier: operands tap the datapath's b-bus (low half) and the
+	// shifter outputs (low half).
+	mw := w / 2
+	mul, err := ArrayMultiplier(p, mw)
+	if err != nil {
+		return nil, err
+	}
+	conn = map[string]string{}
+	for i := 0; i < mw; i++ {
+		conn[fmt.Sprintf("a%d", i)] = fmt.Sprintf("b%d", i)
+		conn[fmt.Sprintf("b%d", i)] = fmt.Sprintf("out%d", i)
+	}
+	for i := 0; i < 2*mw; i++ {
+		conn[fmt.Sprintf("p%d", i)] = fmt.Sprintf("prod%d", i)
+	}
+	if err := top.Import(mul, "mul_", conn); err != nil {
+		return nil, err
+	}
+	for i := 0; i < 2*mw; i++ {
+		top.Node(fmt.Sprintf("prod%d", i)).Kind = netlist.KindOutput
+	}
+
+	// Address unit: carry-select adder over the shifter output and the
+	// operand bus.
+	au, err := CarrySelectAdder(p, w, 4)
+	if err != nil {
+		return nil, err
+	}
+	conn = map[string]string{"cin": "au_cin", "cout": "au_cout"}
+	for i := 0; i < w; i++ {
+		conn[fmt.Sprintf("a%d", i)] = fmt.Sprintf("out%d", i)
+		conn[fmt.Sprintf("b%d", i)] = fmt.Sprintf("b%d", i)
+		conn[fmt.Sprintf("s%d", i)] = fmt.Sprintf("ea%d", i)
+	}
+	if err := top.Import(au, "au_", conn); err != nil {
+		return nil, err
+	}
+	top.Node("au_cin").Kind = netlist.KindInput
+	for i := 0; i < w; i++ {
+		top.Node(fmt.Sprintf("ea%d", i)).Kind = netlist.KindOutput
+	}
+	top.Node("au_cout").Kind = netlist.KindOutput
+
+	// Control PLA: opcode inputs drive the four function selects (and a
+	// few spare control terms).
+	pla, err := PLA(p, 8, 16, 8, 0xC0FFEE)
+	if err != nil {
+		return nil, err
+	}
+	conn = map[string]string{}
+	for i := 0; i < 8; i++ {
+		conn[fmt.Sprintf("in%d", i)] = fmt.Sprintf("op%d", i)
+	}
+	// The first four PLA outputs drive the ALU function selects through
+	// the datapath's control inputs.
+	for i, f := range []string{"fand", "for", "fxor", "fadd"} {
+		conn[fmt.Sprintf("o%d", i)] = f
+	}
+	for i := 4; i < 8; i++ {
+		conn[fmt.Sprintf("o%d", i)] = fmt.Sprintf("ctl%d", i)
+	}
+	if err := top.Import(pla, "pla_", conn); err != nil {
+		return nil, err
+	}
+	for i := 0; i < 8; i++ {
+		top.Node(fmt.Sprintf("op%d", i)).Kind = netlist.KindInput
+	}
+	// The selects are now PLA-driven internal nets, not chip inputs.
+	for _, f := range []string{"fand", "for", "fxor", "fadd"} {
+		top.Node(f).Kind = netlist.KindNormal
+	}
+	for i := 4; i < 8; i++ {
+		top.Node(fmt.Sprintf("ctl%d", i)).Kind = netlist.KindOutput
+	}
+	return top, nil
+}
+
+// ChipDirectives returns the analysis directives a chip needs (the same
+// role as a Crystal command file): fixed upper address bits and
+// loop-breaks on the register cells.
+func ChipDirectives(w int) (fixed map[string]string, loopBreak []string) {
+	fixed = map[string]string{"addr1": "0", "addr2": "0"}
+	for wl := 0; wl < 8; wl++ {
+		for b := 0; b < w; b++ {
+			loopBreak = append(loopBreak, fmt.Sprintf("dp_rf_qb_%d_%d", wl, b))
+		}
+	}
+	return fixed, loopBreak
+}

@@ -1,0 +1,51 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+func TestChipBuilds(t *testing.T) {
+	for _, p := range []*tech.Params{tech.NMOS4(), tech.CMOS3()} {
+		nw, err := Chip(p, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nw.Check(); err != nil {
+			t.Fatal(err)
+		}
+		st := nw.Stats()
+		t.Logf("%s chip-16: %d transistors, %d nodes", p.Name, st.Trans, st.Nodes)
+		if st.Trans < 5000 {
+			t.Errorf("chip-16 has only %d transistors", st.Trans)
+		}
+		// Key ports exist with the right directions.
+		for _, name := range []string{"op0", "b0", "sh0", "addr0", "au_cin"} {
+			n := nw.Lookup(name)
+			if n == nil || n.Kind != netlist.KindInput {
+				t.Errorf("input %s missing or misdirected", name)
+			}
+		}
+		for _, name := range []string{"out0", "prod0", "ea0"} {
+			n := nw.Lookup(name)
+			if n == nil || n.Kind != netlist.KindOutput {
+				t.Errorf("output %s missing or misdirected", name)
+			}
+		}
+		// Function selects are internal (PLA-driven).
+		if nw.Lookup("fadd").Kind != netlist.KindNormal {
+			t.Error("fadd should be internal")
+		}
+	}
+}
+
+func TestChipErrors(t *testing.T) {
+	p := tech.NMOS4()
+	for _, w := range []int{3, 5, 34} {
+		if _, err := Chip(p, w); err == nil {
+			t.Errorf("Chip(%d) should fail", w)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// A composed datapath "chip": generator blocks stitched together with
+// netlist.Import, giving the capacity experiment a realistic multi-block
+// workload and exercising hierarchical composition end to end.
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+// Datapath builds a w-bit mini datapath:
+//
+//	register file (8×w) → ALU → barrel shifter → outputs
+//
+// with an address decoder driving the register word lines. Top-level
+// ports: "addr0..2" (register address), ALU controls "fand/for/fxor/fadd",
+// shifter selects "sh0..(w-1)", operand "b0..(w-1)", "cin"; outputs
+// "out0..(w-1)".
+func Datapath(p *tech.Params, w int) (*netlist.Network, error) {
+	if w < 2 || w > 32 {
+		return nil, fmt.Errorf("gen: datapath width must be in 2..32, got %d", w)
+	}
+	const words = 8
+	top := netlist.New(fmt.Sprintf("datapath-%d", w), p)
+
+	dec, err := Decoder(p, 3)
+	if err != nil {
+		return nil, err
+	}
+	// Decoder outputs drive the register file word lines.
+	conn := map[string]string{}
+	for i := 0; i < 3; i++ {
+		conn[fmt.Sprintf("a%d", i)] = fmt.Sprintf("addr%d", i)
+	}
+	for v := 0; v < words; v++ {
+		conn[fmt.Sprintf("y%d", v)] = fmt.Sprintf("word%d", v)
+	}
+	if err := top.Import(dec, "dec_", conn); err != nil {
+		return nil, err
+	}
+
+	rf, err := RegisterFile(p, words, w)
+	if err != nil {
+		return nil, err
+	}
+	conn = map[string]string{}
+	for v := 0; v < words; v++ {
+		conn[fmt.Sprintf("w%d", v)] = fmt.Sprintf("word%d", v)
+	}
+	for b := 0; b < w; b++ {
+		conn[fmt.Sprintf("bit%d", b)] = fmt.Sprintf("rbit%d", b)
+	}
+	if err := top.Import(rf, "rf_", conn); err != nil {
+		return nil, err
+	}
+
+	alu, err := ALU(p, w)
+	if err != nil {
+		return nil, err
+	}
+	conn = map[string]string{"cin": "cin", "cout": "alu_cout"}
+	for _, f := range []string{"fand", "for", "fxor", "fadd"} {
+		conn[f] = f
+	}
+	for b := 0; b < w; b++ {
+		conn[fmt.Sprintf("a%d", b)] = fmt.Sprintf("rbit%d", b)
+		conn[fmt.Sprintf("b%d", b)] = fmt.Sprintf("b%d", b)
+		conn[fmt.Sprintf("r%d", b)] = fmt.Sprintf("res%d", b)
+	}
+	if err := top.Import(alu, "alu_", conn); err != nil {
+		return nil, err
+	}
+
+	sh, err := BarrelShifter(p, w)
+	if err != nil {
+		return nil, err
+	}
+	conn = map[string]string{}
+	for b := 0; b < w; b++ {
+		conn[fmt.Sprintf("in%d", b)] = fmt.Sprintf("res%d", b)
+		conn[fmt.Sprintf("out%d", b)] = fmt.Sprintf("out%d", b)
+		conn[fmt.Sprintf("sh%d", b)] = fmt.Sprintf("sh%d", b)
+	}
+	if err := top.Import(sh, "sh_", conn); err != nil {
+		return nil, err
+	}
+
+	// Port directions at the top level: the Import preserved sub kinds,
+	// but merged ports took the first import's kind — normalize.
+	markIn := func(names ...string) {
+		for _, n := range names {
+			node := top.Lookup(n)
+			if node == nil {
+				panic("gen: datapath port missing: " + n)
+			}
+			node.Kind = netlist.KindInput
+		}
+	}
+	markIn("addr0", "addr1", "addr2", "cin", "fand", "for", "fxor", "fadd")
+	for b := 0; b < w; b++ {
+		markIn(fmt.Sprintf("b%d", b), fmt.Sprintf("sh%d", b))
+		out := top.Lookup(fmt.Sprintf("out%d", b))
+		out.Kind = netlist.KindOutput
+	}
+	// Internal buses: plain nodes.
+	for v := 0; v < words; v++ {
+		top.Lookup(fmt.Sprintf("word%d", v)).Kind = netlist.KindNormal
+	}
+	for b := 0; b < w; b++ {
+		top.Lookup(fmt.Sprintf("rbit%d", b)).Kind = netlist.KindNormal
+		top.Lookup(fmt.Sprintf("res%d", b)).Kind = netlist.KindNormal
+	}
+	top.Lookup("alu_cout").Kind = netlist.KindNormal
+	return top, nil
+}

@@ -1,0 +1,90 @@
+package gen
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/switchsim"
+	"repro/internal/tech"
+)
+
+func TestDatapathStructure(t *testing.T) {
+	both(t, func(t *testing.T, p *tech.Params) {
+		nw, err := Datapath(p, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkNet(t, nw)
+		st := nw.Stats()
+		// Decoder + 8×4 register file + 4-bit ALU + 4-bit shifter.
+		if st.Trans < 300 {
+			t.Errorf("datapath has only %d transistors", st.Trans)
+		}
+		// Ports present and correctly directed.
+		for _, name := range []string{"addr0", "cin", "fadd", "b0", "sh0"} {
+			n := nw.Lookup(name)
+			if n == nil || n.Kind != netlist.KindInput {
+				t.Errorf("input port %s missing or misdirected", name)
+			}
+		}
+		for _, name := range []string{"out0", "out3"} {
+			n := nw.Lookup(name)
+			if n == nil || n.Kind != netlist.KindOutput {
+				t.Errorf("output port %s missing or misdirected", name)
+			}
+		}
+		// Internal buses are not ports.
+		for _, name := range []string{"rbit0", "res0", "word0"} {
+			n := nw.Lookup(name)
+			if n == nil || n.Kind != netlist.KindNormal {
+				t.Errorf("internal net %s missing or exposed", name)
+			}
+		}
+	})
+}
+
+func TestDatapathShifterPassesALUResult(t *testing.T) {
+	// Functional slice: bypass the register file uncertainty by checking
+	// that an OR of (X-valued) rbit with b=1 gives definite 1 through the
+	// ALU and the shifter: OR(X, 1) = 1 regardless of the stored cells.
+	p := tech.NMOS4()
+	const w = 4
+	nw, err := Datapath(p, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := switchsim.New(nw)
+	// Select word 0, OR function, all b bits high, shift by 0.
+	setBits(t, s, "addr", 3, 0)
+	for _, f := range []string{"fand", "fxor", "fadd"} {
+		s.SetInputName(f, switchsim.V0)
+	}
+	s.SetInputName("for", switchsim.V1)
+	s.SetInputName("cin", switchsim.V0)
+	setBits(t, s, "b", w, 0b1111)
+	for j := 0; j < w; j++ {
+		s.SetInputName(fmt.Sprintf("sh%d", j), switchsim.FromBool(j == 0))
+	}
+	s.Settle()
+	got, ok := readBits(t, s, "out", w)
+	if !ok {
+		t.Fatalf("X at outputs: %v %v %v %v",
+			s.ValueName("out0"), s.ValueName("out1"), s.ValueName("out2"), s.ValueName("out3"))
+	}
+	if got != 0b1111 {
+		t.Errorf("OR(reg, 1111) = %04b, want 1111", got)
+	}
+	// AND with b=0 must give 0 regardless of stored cells.
+	s.SetInputName("for", switchsim.V0)
+	s.SetInputName("fand", switchsim.V1)
+	setBits(t, s, "b", w, 0)
+	s.Settle()
+	got, ok = readBits(t, s, "out", w)
+	if !ok {
+		t.Fatal("X at outputs for AND")
+	}
+	if got != 0 {
+		t.Errorf("AND(reg, 0) = %04b, want 0", got)
+	}
+}

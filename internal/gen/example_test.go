@@ -1,0 +1,27 @@
+package gen_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/gen"
+	"repro/internal/tech"
+)
+
+// ExampleBuild constructs circuits from registry spec strings, the same
+// strings cmd/benchgen accepts.
+func ExampleBuild() {
+	p := tech.NMOS4()
+	for _, spec := range []string{"ripple:4", "barrel:8", "pla:6,12,4"} {
+		nw, err := gen.Build(spec, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := nw.Stats()
+		fmt.Printf("%-12s %4d transistors, %3d nodes\n", spec, st.Trans, st.Nodes)
+	}
+	// Output:
+	// ripple:4      148 transistors, 111 nodes
+	// barrel:8       64 transistors,  26 nodes
+	// pla:6,12,4     84 transistors,  34 nodes
+}

@@ -1,0 +1,138 @@
+// A name-based registry over the generators, so command-line tools can
+// build any benchmark circuit from a compact spec string.
+package gen
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+// Spec describes one registered generator for listings.
+type Spec struct {
+	Name string
+	Args string // human-readable argument signature
+	Doc  string
+}
+
+type builder struct {
+	spec  Spec
+	nargs int // required integer arguments
+	build func(p *tech.Params, args []int) (*netlist.Network, error)
+}
+
+var registry = []builder{
+	{Spec{"invchain", "n[,fanout]", "chain of n inverters, optional per-stage fan-out"}, 1,
+		func(p *tech.Params, a []int) (*netlist.Network, error) {
+			fan := 0
+			if len(a) > 1 {
+				fan = a[1]
+			}
+			return InverterChain(p, a[0], fan)
+		}},
+	{Spec{"fanout", "n", "one inverter driving n inverter loads"}, 1,
+		func(p *tech.Params, a []int) (*netlist.Network, error) { return FanoutInverter(p, a[0]) }},
+	{Spec{"passchain", "n", "chain of n pass transistors with restoring output"}, 1,
+		func(p *tech.Params, a []int) (*netlist.Network, error) { return PassChain(p, a[0]) }},
+	{Spec{"superbuffer", "", "two-stage driver into a heavy load"}, 0,
+		func(p *tech.Params, a []int) (*netlist.Network, error) { return Superbuffer(p) }},
+	{Spec{"bus", "n", "precharged bus with n two-high drivers"}, 1,
+		func(p *tech.Params, a []int) (*netlist.Network, error) { return PrechargedBus(p, a[0]) }},
+	{Spec{"ripple", "w", "w-bit ripple-carry adder"}, 1,
+		func(p *tech.Params, a []int) (*netlist.Network, error) { return RippleAdder(p, a[0]) }},
+	{Spec{"manchester", "w", "w-bit Manchester carry-chain adder"}, 1,
+		func(p *tech.Params, a []int) (*netlist.Network, error) { return ManchesterAdder(p, a[0]) }},
+	{Spec{"barrel", "w", "w-bit pass-transistor barrel shifter"}, 1,
+		func(p *tech.Params, a []int) (*netlist.Network, error) { return BarrelShifter(p, a[0]) }},
+	{Spec{"decoder", "n", "n-to-2^n decoder"}, 1,
+		func(p *tech.Params, a []int) (*netlist.Network, error) { return Decoder(p, a[0]) }},
+	{Spec{"alu", "w", "w-bit 4-function ALU with pass-mux result bus"}, 1,
+		func(p *tech.Params, a []int) (*netlist.Network, error) { return ALU(p, a[0]) }},
+	{Spec{"regfile", "words,bits", "static cell array with pass access"}, 2,
+		func(p *tech.Params, a []int) (*netlist.Network, error) { return RegisterFile(p, a[0], a[1]) }},
+	{Spec{"polywire", "n[,ohms,fF]", "inverter driving an n-section resistive wire"}, 1,
+		func(p *tech.Params, a []int) (*netlist.Network, error) {
+			r, c := 50000.0, 500.0
+			if len(a) > 1 {
+				r = float64(a[1])
+			}
+			if len(a) > 2 {
+				c = float64(a[2])
+			}
+			return PolyWire(p, a[0], r, c*1e-15)
+		}},
+	{Spec{"chip", "w", "processor-scale composition: datapath + multiplier + address unit + control PLA"}, 1,
+		func(p *tech.Params, a []int) (*netlist.Network, error) { return Chip(p, a[0]) }},
+	{Spec{"datapath", "w", "composed chip: decoder + register file + ALU + shifter"}, 1,
+		func(p *tech.Params, a []int) (*netlist.Network, error) { return Datapath(p, a[0]) }},
+	{Spec{"shiftreg", "n", "two-phase dynamic shift register"}, 1,
+		func(p *tech.Params, a []int) (*netlist.Network, error) { return ShiftRegister(p, a[0]) }},
+	{Spec{"arraymul", "w", "w×w carry-save array multiplier"}, 1,
+		func(p *tech.Params, a []int) (*netlist.Network, error) { return ArrayMultiplier(p, a[0]) }},
+	{Spec{"carrysel", "w[,block]", "carry-select adder"}, 1,
+		func(p *tech.Params, a []int) (*netlist.Network, error) {
+			block := 4
+			if len(a) > 1 {
+				block = a[1]
+			}
+			return CarrySelectAdder(p, a[0], block)
+		}},
+	{Spec{"pla", "in,prod,out[,seed]", "NOR-NOR PLA with pseudorandom programming"}, 3,
+		func(p *tech.Params, a []int) (*netlist.Network, error) {
+			seed := uint64(1)
+			if len(a) > 3 {
+				seed = uint64(a[3])
+			}
+			return PLA(p, a[0], a[1], a[2], seed)
+		}},
+}
+
+// List returns the registered generator specs, sorted by name.
+func List() []Spec {
+	out := make([]Spec, 0, len(registry))
+	for _, b := range registry {
+		out = append(out, b.spec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Build constructs a circuit from a spec string "name:arg1,arg2" (colon or
+// space separated from the name; arguments comma separated integers).
+func Build(spec string, p *tech.Params) (*netlist.Network, error) {
+	name, rest, _ := strings.Cut(strings.TrimSpace(spec), ":")
+	name = strings.TrimSpace(name)
+	var args []int
+	if rest != "" {
+		for _, s := range strings.Split(rest, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return nil, fmt.Errorf("gen: bad argument %q in spec %q", s, spec)
+			}
+			args = append(args, v)
+		}
+	}
+	for _, b := range registry {
+		if b.spec.Name != name {
+			continue
+		}
+		if len(args) < b.nargs {
+			return nil, fmt.Errorf("gen: %s needs %d argument(s) (%s), got %d",
+				name, b.nargs, b.spec.Args, len(args))
+		}
+		return b.build(p, args)
+	}
+	return nil, fmt.Errorf("gen: unknown circuit %q (try one of: %s)", name, names())
+}
+
+func names() string {
+	var ns []string
+	for _, s := range List() {
+		ns = append(ns, s.Name)
+	}
+	return strings.Join(ns, ", ")
+}

@@ -1,0 +1,72 @@
+// Hierarchical composition: importing one network into another with port
+// connections, so chip-scale benchmarks can be stitched from generator
+// blocks the way real layouts were composed from cells.
+package netlist
+
+import (
+	"fmt"
+)
+
+// Import copies every node and transistor of sub into nw.
+//
+//   - Rails map to rails.
+//   - A sub node named in connect is merged onto the named nw node
+//     (created if absent): its extra capacitance (beyond the technology
+//     default) is added, and the nw node's kind wins.
+//   - Every other sub node becomes a new node named prefix+name,
+//     preserving capacitance, precharge marks, and input/output kinds.
+//
+// Both networks must be in the same technology. Transistor flow hints and
+// geometry are preserved. Import returns an error (leaving nw possibly
+// extended but structurally valid) if a name collision would merge two
+// unrelated nodes.
+func (nw *Network) Import(sub *Network, prefix string, connect map[string]string) error {
+	if sub == nil {
+		return fmt.Errorf("netlist: nil subnetwork")
+	}
+	if nw.Tech.Name != sub.Tech.Name {
+		return fmt.Errorf("netlist: technology mismatch %s vs %s", nw.Tech.Name, sub.Tech.Name)
+	}
+	for from := range connect {
+		if sub.Lookup(from) == nil {
+			return fmt.Errorf("netlist: connect source %q not in %s", from, sub.Name)
+		}
+	}
+	nodeMap := make(map[*Node]*Node, len(sub.Nodes))
+	for _, sn := range sub.Nodes {
+		switch {
+		case sn.Kind == KindVdd:
+			nodeMap[sn] = nw.Vdd()
+			continue
+		case sn.Kind == KindGnd:
+			nodeMap[sn] = nw.GND()
+			continue
+		}
+		if target, ok := connect[sn.Name]; ok {
+			tn := nw.Node(target)
+			// Merge extra (beyond-default) capacitance onto the port.
+			if extra := sn.Cap - sub.Tech.CWire; extra > 0 {
+				nw.AddCap(tn, extra)
+			}
+			if sn.Precharged {
+				tn.Precharged = true
+			}
+			nodeMap[sn] = tn
+			continue
+		}
+		name := prefix + sn.Name
+		if nw.Lookup(name) != nil {
+			return fmt.Errorf("netlist: import collision on %q (prefix %q)", name, prefix)
+		}
+		tn := nw.Node(name)
+		tn.Cap = sn.Cap
+		tn.Kind = sn.Kind
+		tn.Precharged = sn.Precharged
+		nodeMap[sn] = tn
+	}
+	for _, st := range sub.Trans {
+		t := nw.AddTrans(st.Type, nodeMap[st.Gate], nodeMap[st.A], nodeMap[st.B], st.W, st.L)
+		t.Flow = st.Flow
+	}
+	return nil
+}

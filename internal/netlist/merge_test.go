@@ -1,0 +1,121 @@
+package netlist
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tech"
+)
+
+// subInverter builds a one-inverter network with ports "in"/"out".
+func subInverter(p *tech.Params) *Network {
+	nw := New("inv", p)
+	in, out := nw.Node("in"), nw.Node("out")
+	nw.MarkInput(in)
+	nw.MarkOutput(out)
+	nw.AddCap(out, 5e-15)
+	nw.AddTrans(tech.NEnh, in, out, nw.GND(), 0, 0)
+	nw.AddTrans(tech.NDep, out, nw.Vdd(), out, 0, 4*p.MinL)
+	return nw
+}
+
+func TestImportBasics(t *testing.T) {
+	p := tech.NMOS4()
+	top := New("top", p)
+	a := top.Node("a")
+	top.MarkInput(a)
+	sub := subInverter(p)
+	if err := top.Import(sub, "u1_", map[string]string{"in": "a", "out": "y"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := top.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if len(top.Trans) != 2 {
+		t.Fatalf("transistor count %d, want 2", len(top.Trans))
+	}
+	// The sub's gate now hangs off "a".
+	if len(a.Gates) != 1 {
+		t.Errorf("a gates %d devices, want 1", len(a.Gates))
+	}
+	y := top.Lookup("y")
+	if y == nil {
+		t.Fatal("port y missing")
+	}
+	// Extra cap (5 fF beyond default) merged onto the port.
+	want := p.CWire + 5e-15
+	if math.Abs(y.Cap-want) > 1e-21 {
+		t.Errorf("y cap = %g, want %g", y.Cap, want)
+	}
+	// a kept its top-level kind.
+	if a.Kind != KindInput {
+		t.Errorf("a kind = %v", a.Kind)
+	}
+}
+
+func TestImportPrefixesUnconnected(t *testing.T) {
+	p := tech.NMOS4()
+	top := New("top", p)
+	sub := subInverter(p)
+	if err := top.Import(sub, "u1_", nil); err != nil {
+		t.Fatal(err)
+	}
+	if top.Lookup("u1_in") == nil || top.Lookup("u1_out") == nil {
+		t.Fatal("prefixed nodes missing")
+	}
+	if top.Lookup("u1_in").Kind != KindInput {
+		t.Error("unconnected port should keep its kind")
+	}
+	// Importing again with the same prefix collides.
+	if err := top.Import(sub, "u1_", nil); err == nil {
+		t.Error("prefix collision should fail")
+	}
+	// A different prefix is fine.
+	if err := top.Import(sub, "u2_", nil); err != nil {
+		t.Error(err)
+	}
+	if err := top.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImportErrors(t *testing.T) {
+	p := tech.NMOS4()
+	top := New("top", p)
+	if err := top.Import(nil, "x_", nil); err == nil {
+		t.Error("nil sub should fail")
+	}
+	sub := subInverter(tech.CMOS3())
+	if err := top.Import(sub, "x_", nil); err == nil {
+		t.Error("technology mismatch should fail")
+	}
+	sub2 := subInverter(p)
+	if err := top.Import(sub2, "x_", map[string]string{"nope": "a"}); err == nil {
+		t.Error("bad connect source should fail")
+	}
+}
+
+func TestImportPreservesAttributes(t *testing.T) {
+	p := tech.NMOS4()
+	sub := New("dyn", p)
+	g := sub.Node("g")
+	sub.MarkInput(g)
+	d := sub.Node("d")
+	d.Precharged = true
+	tr := sub.AddTrans(tech.NEnh, g, sub.Node("s"), d, 3e-6, 2e-6)
+	tr.Flow = FlowBA
+	top := New("top", p)
+	if err := top.Import(sub, "k_", nil); err != nil {
+		t.Fatal(err)
+	}
+	kd := top.Lookup("k_d")
+	if kd == nil || !kd.Precharged {
+		t.Error("precharge lost")
+	}
+	if top.Trans[0].Flow != FlowBA {
+		t.Error("flow hint lost")
+	}
+	if top.Trans[0].W != 3e-6 {
+		t.Error("geometry lost")
+	}
+}

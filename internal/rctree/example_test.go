@@ -1,0 +1,21 @@
+package rctree_test
+
+import (
+	"fmt"
+
+	"repro/internal/rctree"
+)
+
+// Example computes the Elmore delay and RPH bounds of a two-section RC
+// ladder (1 kΩ / 1 pF per section).
+func Example() {
+	t := rctree.New(0, "driver")
+	mid := t.Add(0, 1e3, 1e-12, "mid")
+	end := t.Add(mid, 1e3, 1e-12, "end")
+	fmt.Printf("Elmore(end) = %.1f ns\n", t.Elmore(end)*1e9)
+	lo, hi := t.DelayBounds(end, 0.5)
+	fmt.Printf("50%% crossing bounded by [%.2f, %.2f] ns\n", lo*1e9, hi*1e9)
+	// Output:
+	// Elmore(end) = 3.0 ns
+	// 50% crossing bounded by [2.08, 2.23] ns
+}

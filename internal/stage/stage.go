@@ -1,0 +1,599 @@
+// Package stage implements Crystal's central structural abstraction: the
+// *stage*. A stage is a path of (potentially) conducting transistors from
+// a strong signal source — a supply rail or a chip input — through the
+// channel graph to a target node, together with all the capacitance the
+// path must charge or discharge, including side branches hanging off the
+// path. Every delay model in this repository evaluates stages; the timing
+// verifier enumerates them.
+package stage
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/netlist"
+	"repro/internal/rctree"
+	"repro/internal/tech"
+)
+
+// Conduction is the three-valued answer to "does this transistor's channel
+// conduct?" supplied by the sensitization oracle.
+type Conduction int
+
+const (
+	// Off: the channel definitely does not conduct; paths may not use it.
+	Off Conduction = iota
+	// On: the channel definitely conducts.
+	On
+	// Maybe: unknown; worst-case analysis must assume it may conduct.
+	Maybe
+)
+
+// Oracle reports channel conduction for path enumeration. A nil oracle
+// means worst case: every device may conduct (except those with FlowOff).
+type Oracle func(t *netlist.Trans) Conduction
+
+// worstCase is the nil-oracle behaviour.
+func worstCase(*netlist.Trans) Conduction { return Maybe }
+
+// Element is one transistor hop on a stage path, oriented source→target.
+type Element struct {
+	Trans *netlist.Trans
+	// From is the terminal nearer the stage's source; To nearer the target.
+	From, To *netlist.Node
+}
+
+// SideLoad is capacitance hanging off the path: a node reachable from a
+// path node through conducting side transistors.
+type SideLoad struct {
+	Node *netlist.Node
+	// Attach indexes the path position the branch hangs from: 0 attaches
+	// at the source node, i>0 at Path[i-1].To.
+	Attach int
+	// R is the accumulated side-branch resistance from the attach point
+	// to Node, in ohms, for the stage's transition direction.
+	R float64
+	// C is the capacitance of Node in farads.
+	C float64
+}
+
+// Stage is a driving path plus its loading.
+type Stage struct {
+	// Source is the strong node supplying the transition (rail or input).
+	Source *netlist.Node
+	// Target is the node whose transition this stage times.
+	Target *netlist.Node
+	// Trigger is the path transistor whose gate transition initiates the
+	// stage, or nil when the stage is initiated by a channel-side event
+	// (an input transition propagating through already-on devices) or by
+	// another device turning off (load pullup stages).
+	Trigger *netlist.Trans
+	// Path runs source→target; never empty.
+	Path []Element
+	// Side holds off-path capacitive loading.
+	Side []SideLoad
+	// PathCap caches the total capacitance of each path node (index
+	// aligned with Path: PathCap[i] loads Path[i].To), precomputed at
+	// construction so delay models avoid re-walking adjacency lists.
+	PathCap []float64
+	// Transition is the direction Target moves (Rise when Source is high).
+	Transition tech.Transition
+}
+
+// finish computes the derived loading fields (side loads, path caps).
+func (s *Stage) finish(nw *netlist.Network, opt Options) {
+	s.Side = sideLoads(nw, s, opt)
+	s.PathCap = make([]float64, len(s.Path))
+	for i, e := range s.Path {
+		s.PathCap[i] = nw.NodeCap(e.To)
+	}
+}
+
+// String renders the stage compactly: "Vdd -(d:out)-> out [rise]".
+func (s *Stage) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", s.Source.Name)
+	for _, e := range s.Path {
+		fmt.Fprintf(&b, " -(%s g=%s)-> %s", e.Trans.Type, e.Trans.Gate.Name, e.To.Name)
+	}
+	fmt.Fprintf(&b, " [%s]", s.Transition)
+	return b.String()
+}
+
+// elementR returns the effective resistance of one element for the given
+// transition: the element's own override (wire resistors) or the
+// technology's rule-of-thumb table.
+func elementR(p *tech.Params, t *netlist.Trans, tr tech.Transition) float64 {
+	if t.ROverride > 0 {
+		return t.ROverride
+	}
+	return p.R(t.Type, tr, t.W, t.L)
+}
+
+// SeriesR returns the total series resistance of the path in ohms for the
+// stage's transition, using the technology's step-input effective
+// resistances (callers with calibrated tables scale per element).
+func (s *Stage) SeriesR(p *tech.Params) float64 {
+	r := 0.0
+	for _, e := range s.Path {
+		r += elementR(p, e.Trans, s.Transition)
+	}
+	return r
+}
+
+// TotalC returns the total capacitance the stage drives: every path node
+// after the source, plus all side loads.
+func (s *Stage) TotalC(nw *netlist.Network) float64 {
+	c := 0.0
+	if s.PathCap != nil {
+		for _, pc := range s.PathCap {
+			c += pc
+		}
+	} else {
+		for _, e := range s.Path {
+			c += nw.NodeCap(e.To)
+		}
+	}
+	for _, sl := range s.Side {
+		c += sl.C
+	}
+	return c
+}
+
+// ElementR returns the step-input effective resistance of path element i.
+func (s *Stage) ElementR(nw *netlist.Network, i int) float64 {
+	e := s.Path[i]
+	return elementR(nw.Tech, e.Trans, s.Transition)
+}
+
+// Tree builds the RC tree of the stage: root at the source, a chain of
+// path nodes, side loads attached with their branch resistance. rscale
+// optionally multiplies the resistance of individual path elements
+// (index-aligned with Path); nil applies no scaling. The returned indexes
+// map path positions to tree nodes: treeIdx[0] is the source/root,
+// treeIdx[i] is Path[i-1].To, so treeIdx[len(Path)] is the target.
+func (s *Stage) Tree(nw *netlist.Network, rscale []float64) (*rctree.Tree, []int) {
+	t := rctree.New(0, s.Source.Name) // source: driven rail, no cap charge needed
+	treeIdx := make([]int, len(s.Path)+1)
+	treeIdx[0] = 0
+	for i, e := range s.Path {
+		r := s.ElementR(nw, i)
+		if rscale != nil && rscale[i] > 0 {
+			r *= rscale[i]
+		}
+		treeIdx[i+1] = t.Add(treeIdx[i], r, nw.NodeCap(e.To), e.To.Name)
+	}
+	for _, sl := range s.Side {
+		r := sl.R
+		if r <= 0 {
+			// A zero-resistance side branch (directly attached cap)
+			// merges into its attach node.
+			t.AddCap(treeIdx[sl.Attach], sl.C)
+			continue
+		}
+		t.Add(treeIdx[sl.Attach], r, sl.C, sl.Node.Name)
+	}
+	return t, treeIdx
+}
+
+// Options bounds stage enumeration.
+type Options struct {
+	// Oracle supplies conduction; nil = worst case (everything Maybe).
+	Oracle Oracle
+	// MaxDepth bounds path length in transistors (default 64).
+	MaxDepth int
+	// MaxPaths bounds the number of source paths enumerated per query
+	// (default 256). Overflow is reported via Truncated.
+	MaxPaths int
+}
+
+func (o Options) fill() Options {
+	if o.Oracle == nil {
+		o.Oracle = worstCase
+	}
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 64
+	}
+	if o.MaxPaths <= 0 {
+		o.MaxPaths = 256
+	}
+	return o
+}
+
+// Result carries enumerated stages plus enumeration diagnostics.
+type Result struct {
+	Stages []*Stage
+	// Truncated is true if MaxPaths or MaxDepth pruned the enumeration.
+	Truncated bool
+}
+
+// sourceWanted reports whether node n can source the given target
+// transition: Vdd and high inputs source rises, GND and low inputs source
+// falls. Inputs source both (their own transition direction is decided by
+// the caller), so they are accepted for either.
+func sourceWanted(n *netlist.Node, tr tech.Transition) bool {
+	switch n.Kind {
+	case netlist.KindVdd:
+		return tr == tech.Rise
+	case netlist.KindGnd:
+		return tr == tech.Fall
+	case netlist.KindInput:
+		return true
+	}
+	return false
+}
+
+// ToNode enumerates all stages that could drive target with transition tr:
+// every acyclic path from an appropriate strong source to target through
+// transistors the oracle does not rule out, respecting flow hints. Side
+// loading is computed per stage.
+func ToNode(nw *netlist.Network, target *netlist.Node, tr tech.Transition, opt Options) Result {
+	opt = opt.fill()
+	var res Result
+	if target.IsSource() {
+		return res
+	}
+	// DFS backward from target toward sources. Paths are built
+	// target→source then reversed.
+	onPath := make(map[*netlist.Node]bool)
+	var rev []Element // elements target→source orientation (From/To in final orientation)
+	var dfs func(n *netlist.Node, depth int)
+	dfs = func(n *netlist.Node, depth int) {
+		if len(res.Stages) >= opt.MaxPaths {
+			res.Truncated = true
+			return
+		}
+		if depth > opt.MaxDepth {
+			res.Truncated = true
+			return
+		}
+		onPath[n] = true
+		defer delete(onPath, n)
+		for _, t := range n.Terms {
+			if opt.Oracle(t) == Off {
+				continue
+			}
+			o := t.Other(n)
+			if o == nil || onPath[o] {
+				continue
+			}
+			// Final orientation is source→target, so the signal flows
+			// o→n here; check the flow hint in that direction.
+			if !t.CanFlow(o) {
+				continue
+			}
+			rev = append(rev, Element{Trans: t, From: o, To: n})
+			if o.IsSource() {
+				if sourceWanted(o, tr) {
+					res.Stages = append(res.Stages, buildStage(nw, o, target, rev, tr, opt))
+				}
+			} else {
+				dfs(o, depth+1)
+			}
+			rev = rev[:len(rev)-1]
+		}
+	}
+	dfs(target, 0)
+	return res
+}
+
+// buildStage reverses the collected path and computes side loading.
+func buildStage(nw *netlist.Network, source, target *netlist.Node, rev []Element, tr tech.Transition, opt Options) *Stage {
+	path := make([]Element, len(rev))
+	for i, e := range rev {
+		path[len(rev)-1-i] = e
+	}
+	st := &Stage{Source: source, Target: target, Path: path, Transition: tr}
+	st.finish(nw, opt)
+	return st
+}
+
+// sideLoads walks outward from every path node through conducting
+// transistors (per the oracle), collecting the capacitance of off-path
+// nodes. Each off-path node is attributed to the first path node that
+// reaches it (shortest-hop via BFS from the whole path at once), with the
+// accumulated branch resistance.
+func sideLoads(nw *netlist.Network, st *Stage, opt Options) []SideLoad {
+	type visit struct {
+		attach int
+		r      float64
+	}
+	seen := make(map[*netlist.Node]visit)
+	// Seed with path nodes (and source) at zero resistance.
+	type qent struct {
+		n      *netlist.Node
+		attach int
+		r      float64
+	}
+	var q []qent
+	seen[st.Source] = visit{0, 0}
+	q = append(q, qent{st.Source, 0, 0})
+	for i, e := range st.Path {
+		seen[e.To] = visit{i + 1, 0}
+		q = append(q, qent{e.To, i + 1, 0})
+	}
+	// Path membership checks happen per edge of a potentially large
+	// channel group; a set keeps them O(1) (a linear scan here is
+	// quadratic over deep stages and dominated whole-chip analysis).
+	onPath := make(map[*netlist.Trans]bool, len(st.Path))
+	for _, e := range st.Path {
+		onPath[e.Trans] = true
+	}
+	var out []SideLoad
+	for len(q) > 0 {
+		cur := q[0]
+		q = q[1:]
+		if cur.n.IsSource() {
+			// Ideal sources absorb: nothing behind a rail or input
+			// loads the stage, and expansion must not pass through.
+			continue
+		}
+		for _, t := range cur.n.Terms {
+			if opt.Oracle(t) == Off {
+				continue
+			}
+			// Skip path elements themselves.
+			if onPath[t] {
+				continue
+			}
+			o := t.Other(cur.n)
+			if o == nil {
+				continue
+			}
+			if !t.CanFlow(cur.n) {
+				continue
+			}
+			if _, ok := seen[o]; ok {
+				continue
+			}
+			r := cur.r + elementR(nw.Tech, t, st.Transition)
+			seen[o] = visit{cur.attach, r}
+			// A strong node absorbs the branch: it contributes no
+			// capacitance (it is a rail/input) and stops expansion.
+			if o.IsSource() {
+				continue
+			}
+			out = append(out, SideLoad{Node: o, Attach: cur.attach, R: r, C: nw.NodeCap(o)})
+			q = append(q, qent{o, cur.attach, r})
+		}
+	}
+	return out
+}
+
+// Through enumerates the stages created when transistor trig becomes
+// conducting: every stage whose path passes through trig, targeting each
+// node reachable on the far side (including trig's own far terminal).
+// Source-side paths are enumerated exhaustively (bounded by MaxPaths);
+// the far side is expanded as a spanning tree, one stage per reached node.
+func Through(nw *netlist.Network, trig *netlist.Trans, tr tech.Transition, opt Options) Result {
+	opt = opt.fill()
+	var res Result
+	// For each orientation of the trigger (A→B and B→A), find source
+	// paths ending at the near terminal, then extend to far-side nodes.
+	for _, orient := range [2]struct{ near, far *netlist.Node }{
+		{trig.A, trig.B}, {trig.B, trig.A},
+	} {
+		if !trig.CanFlow(orient.near) || orient.near == orient.far {
+			continue
+		}
+		srcPaths := pathsToNode(nw, orient.near, tr, opt, trig)
+		if srcPaths.Truncated {
+			res.Truncated = true
+		}
+		if len(srcPaths.paths) == 0 && orient.near.IsSource() && sourceWanted(orient.near, tr) {
+			// The near terminal is itself a source: the trivial path.
+			srcPaths.paths = append(srcPaths.paths, nil)
+		}
+		for _, sp := range srcPaths.paths {
+			exts := spanningExtensions(nw, orient.far, orient.near, sp, trig, opt)
+			for _, ext := range exts {
+				if len(sp)+1+len(ext) > opt.MaxDepth {
+					res.Truncated = true
+					continue
+				}
+				full := make([]Element, 0, len(sp)+1+len(ext))
+				full = append(full, sp...)
+				full = append(full, Element{Trans: trig, From: orient.near, To: orient.far})
+				full = append(full, ext...)
+				src := orient.near
+				if len(sp) > 0 {
+					src = sp[0].From
+				}
+				target := full[len(full)-1].To
+				st := &Stage{
+					Source:     src,
+					Target:     target,
+					Trigger:    trig,
+					Path:       full,
+					Transition: tr,
+				}
+				st.finish(nw, opt)
+				res.Stages = append(res.Stages, st)
+				if len(res.Stages) >= opt.MaxPaths {
+					res.Truncated = true
+					return res
+				}
+			}
+		}
+	}
+	return res
+}
+
+type pathSet struct {
+	paths     [][]Element // each source→near orientation
+	Truncated bool
+}
+
+// pathsToNode enumerates acyclic source→end paths not using `exclude`.
+func pathsToNode(nw *netlist.Network, end *netlist.Node, tr tech.Transition, opt Options, exclude *netlist.Trans) pathSet {
+	var ps pathSet
+	if end.IsSource() {
+		return ps
+	}
+	onPath := map[*netlist.Node]bool{}
+	var rev []Element
+	var dfs func(n *netlist.Node, depth int)
+	dfs = func(n *netlist.Node, depth int) {
+		if len(ps.paths) >= opt.MaxPaths || depth > opt.MaxDepth {
+			ps.Truncated = true
+			return
+		}
+		onPath[n] = true
+		defer delete(onPath, n)
+		for _, t := range n.Terms {
+			if t == exclude || opt.Oracle(t) == Off {
+				continue
+			}
+			o := t.Other(n)
+			if o == nil || onPath[o] || !t.CanFlow(o) {
+				continue
+			}
+			rev = append(rev, Element{Trans: t, From: o, To: n})
+			if o.IsSource() {
+				if sourceWanted(o, tr) {
+					p := make([]Element, len(rev))
+					for i, e := range rev {
+						p[len(rev)-1-i] = e
+					}
+					ps.paths = append(ps.paths, p)
+				}
+			} else {
+				dfs(o, depth+1)
+			}
+			rev = rev[:len(rev)-1]
+		}
+	}
+	dfs(end, 0)
+	return ps
+}
+
+// spanningExtensions returns, for every node reachable from `from` through
+// conducting transistors without touching the source path, the tree path
+// to it (as a list of elements from `from` outward). The empty extension
+// (targeting `from` itself) is always first.
+func spanningExtensions(nw *netlist.Network, from, near *netlist.Node, srcPath []Element, trig *netlist.Trans, opt Options) [][]Element {
+	blocked := map[*netlist.Node]bool{near: true}
+	for _, e := range srcPath {
+		blocked[e.From] = true
+		blocked[e.To] = true
+	}
+	exts := [][]Element{nil}
+	if from.IsSource() {
+		return exts
+	}
+	type item struct {
+		n    *netlist.Node
+		path []Element
+	}
+	seen := map[*netlist.Node]bool{from: true}
+	q := []item{{from, nil}}
+	for len(q) > 0 {
+		cur := q[0]
+		q = q[1:]
+		if len(cur.path) >= opt.MaxDepth {
+			continue
+		}
+		for _, t := range cur.n.Terms {
+			if t == trig || opt.Oracle(t) == Off {
+				continue
+			}
+			o := t.Other(cur.n)
+			if o == nil || seen[o] || blocked[o] || !t.CanFlow(cur.n) {
+				continue
+			}
+			seen[o] = true
+			if o.IsSource() {
+				continue
+			}
+			np := make([]Element, len(cur.path)+1)
+			copy(np, cur.path)
+			np[len(cur.path)] = Element{Trans: t, From: cur.n, To: o}
+			exts = append(exts, np)
+			q = append(q, item{o, np})
+		}
+	}
+	return exts
+}
+
+// FromNode enumerates the stages created when node src itself transitions
+// (an externally timed event, e.g. a chip input feeding pass transistors):
+// a spanning tree of the conducting channel graph rooted at src, one stage
+// per reachable node, each with Source = src and no trigger.
+func FromNode(nw *netlist.Network, src *netlist.Node, tr tech.Transition, opt Options) Result {
+	opt = opt.fill()
+	var res Result
+	type item struct {
+		n    *netlist.Node
+		path []Element
+	}
+	seen := map[*netlist.Node]bool{src: true}
+	q := []item{{src, nil}}
+	for len(q) > 0 {
+		cur := q[0]
+		q = q[1:]
+		if len(cur.path) >= opt.MaxDepth {
+			res.Truncated = true
+			continue
+		}
+		for _, t := range cur.n.Terms {
+			if opt.Oracle(t) == Off {
+				continue
+			}
+			o := t.Other(cur.n)
+			if o == nil || seen[o] || !t.CanFlow(cur.n) {
+				continue
+			}
+			seen[o] = true
+			if o.IsSource() {
+				continue
+			}
+			np := make([]Element, len(cur.path)+1)
+			copy(np, cur.path)
+			np[len(cur.path)] = Element{Trans: t, From: cur.n, To: o}
+			st := &Stage{Source: src, Target: o, Path: np, Transition: tr}
+			st.finish(nw, opt)
+			res.Stages = append(res.Stages, st)
+			if len(res.Stages) >= opt.MaxPaths {
+				res.Truncated = true
+				return res
+			}
+			q = append(q, item{o, np})
+		}
+	}
+	return res
+}
+
+// WorstRC returns the lumped time constant (series R × total C) of the
+// stage, a convenience several reports use.
+func (s *Stage) WorstRC(nw *netlist.Network) float64 {
+	return s.SeriesR(nw.Tech) * s.TotalC(nw)
+}
+
+// Validate checks structural sanity of a stage: non-empty contiguous path
+// from source to target with positive geometry.
+func (s *Stage) Validate() error {
+	if len(s.Path) == 0 {
+		return fmt.Errorf("stage: empty path")
+	}
+	if s.Path[0].From != s.Source {
+		return fmt.Errorf("stage: path starts at %s, source is %s", s.Path[0].From, s.Source)
+	}
+	if s.Path[len(s.Path)-1].To != s.Target {
+		return fmt.Errorf("stage: path ends at %s, target is %s", s.Path[len(s.Path)-1].To, s.Target)
+	}
+	for i := 1; i < len(s.Path); i++ {
+		if s.Path[i].From != s.Path[i-1].To {
+			return fmt.Errorf("stage: discontinuity at element %d", i)
+		}
+	}
+	for _, sl := range s.Side {
+		if sl.Attach < 0 || sl.Attach > len(s.Path) {
+			return fmt.Errorf("stage: side load attach %d out of range", sl.Attach)
+		}
+		if sl.C < 0 || sl.R < 0 || math.IsNaN(sl.C) || math.IsNaN(sl.R) {
+			return fmt.Errorf("stage: bad side load on %s", sl.Node)
+		}
+	}
+	return nil
+}

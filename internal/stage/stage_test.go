@@ -1,0 +1,296 @@
+package stage
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+// invNet builds an nMOS inverter and returns (net, in, out).
+func invNet() (*netlist.Network, *netlist.Node, *netlist.Node) {
+	p := tech.NMOS4()
+	nw := netlist.New("inv", p)
+	in, out := nw.Node("in"), nw.Node("out")
+	nw.MarkInput(in)
+	nw.AddTrans(tech.NEnh, in, out, nw.GND(), 0, 0)
+	nw.AddTrans(tech.NDep, out, nw.Vdd(), out, 0, 4*p.MinL)
+	return nw, in, out
+}
+
+func TestToNodeInverter(t *testing.T) {
+	nw, _, out := invNet()
+	fall := ToNode(nw, out, tech.Fall, Options{})
+	if len(fall.Stages) != 1 {
+		t.Fatalf("fall stages = %d, want 1", len(fall.Stages))
+	}
+	st := fall.Stages[0]
+	if st.Source != nw.GND() || st.Target != out || len(st.Path) != 1 {
+		t.Errorf("bad fall stage: %v", st)
+	}
+	if err := st.Validate(); err != nil {
+		t.Error(err)
+	}
+	rise := ToNode(nw, out, tech.Rise, Options{})
+	if len(rise.Stages) != 1 {
+		t.Fatalf("rise stages = %d, want 1", len(rise.Stages))
+	}
+	if rise.Stages[0].Source != nw.Vdd() {
+		t.Errorf("rise source = %v, want Vdd", rise.Stages[0].Source)
+	}
+	if rise.Stages[0].Path[0].Trans.Type != tech.NDep {
+		t.Error("rise should go through the depletion load")
+	}
+}
+
+func TestToNodeRespectsOracle(t *testing.T) {
+	nw, _, out := invNet()
+	off := func(*netlist.Trans) Conduction { return Off }
+	if res := ToNode(nw, out, tech.Fall, Options{Oracle: off}); len(res.Stages) != 0 {
+		t.Error("all-off oracle should yield no stages")
+	}
+}
+
+func TestToNodeRespectsFlow(t *testing.T) {
+	nw, _, out := invNet()
+	nw.Trans[0].Flow = netlist.FlowOff
+	if res := ToNode(nw, out, tech.Fall, Options{}); len(res.Stages) != 0 {
+		t.Error("FlowOff should block the pulldown path")
+	}
+}
+
+// stackNet builds a 2-high nMOS NAND pulldown: GND -(g=b)- mid -(g=a)- out,
+// with a depletion pullup on out.
+func stackNet() (*netlist.Network, *netlist.Trans, *netlist.Node) {
+	p := tech.NMOS4()
+	nw := netlist.New("nand", p)
+	a, b := nw.Node("a"), nw.Node("b")
+	nw.MarkInput(a)
+	nw.MarkInput(b)
+	out, mid := nw.Node("out"), nw.Node("mid")
+	ta := nw.AddTrans(tech.NEnh, a, out, mid, 0, 0)
+	nw.AddTrans(tech.NEnh, b, mid, nw.GND(), 0, 0)
+	nw.AddTrans(tech.NDep, out, nw.Vdd(), out, 0, 4*p.MinL)
+	return nw, ta, out
+}
+
+func TestThroughStack(t *testing.T) {
+	nw, ta, out := stackNet()
+	res := Through(nw, ta, tech.Fall, Options{})
+	// Expect at least a stage targeting out (GND→mid→out) with trigger ta.
+	var found *Stage
+	for _, st := range res.Stages {
+		if st.Target == out && st.Source == nw.GND() {
+			found = st
+		}
+		if st.Trigger != ta {
+			t.Errorf("stage %v has wrong trigger", st)
+		}
+		if err := st.Validate(); err != nil {
+			t.Errorf("stage %v: %v", st, err)
+		}
+	}
+	if found == nil {
+		t.Fatalf("no GND→out stage among %d stages", len(res.Stages))
+	}
+	if len(found.Path) != 2 {
+		t.Errorf("GND→out path length = %d, want 2", len(found.Path))
+	}
+}
+
+func TestThroughRespectsDepthCap(t *testing.T) {
+	nw, ta, _ := stackNet()
+	res := Through(nw, ta, tech.Fall, Options{MaxDepth: 1})
+	for _, st := range res.Stages {
+		if len(st.Path) > 1 {
+			t.Errorf("stage exceeds depth cap: %v", st)
+		}
+	}
+}
+
+func TestFromNodePassChain(t *testing.T) {
+	p := tech.NMOS4()
+	nw := netlist.New("pass", p)
+	in, ctl := nw.Node("in"), nw.Node("ctl")
+	nw.MarkInput(in)
+	nw.MarkInput(ctl)
+	n1, n2 := nw.Node("n1"), nw.Node("n2")
+	nw.AddTrans(tech.NEnh, ctl, in, n1, 0, 0)
+	nw.AddTrans(tech.NEnh, ctl, n1, n2, 0, 0)
+	res := FromNode(nw, in, tech.Rise, Options{})
+	if len(res.Stages) != 2 {
+		t.Fatalf("stages = %d, want 2 (n1 and n2)", len(res.Stages))
+	}
+	for _, st := range res.Stages {
+		if st.Source != in || st.Trigger != nil {
+			t.Errorf("bad channel stage: %v", st)
+		}
+		if err := st.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+	// Farthest stage has two elements.
+	last := res.Stages[len(res.Stages)-1]
+	if last.Target != n2 || len(last.Path) != 2 {
+		t.Errorf("last stage should reach n2 in 2 hops: %v", last)
+	}
+}
+
+func TestSideLoadsCollectFanout(t *testing.T) {
+	// A pass transistor hangs a side branch off the inverter output; the
+	// fall stage for the output should count the branch capacitance.
+	nw, _, out := invNet()
+	p := nw.Tech
+	side := nw.Node("side")
+	always := nw.Node("always")
+	nw.MarkInput(always)
+	nw.AddTrans(tech.NEnh, always, out, side, 0, 0)
+	res := ToNode(nw, out, tech.Fall, Options{})
+	if len(res.Stages) != 1 {
+		t.Fatalf("stages = %d, want 1", len(res.Stages))
+	}
+	st := res.Stages[0]
+	if len(st.Side) != 1 || st.Side[0].Node != side {
+		t.Fatalf("side loads = %v, want [side]", st.Side)
+	}
+	if st.Side[0].Attach != 1 {
+		t.Errorf("side load attaches at %d, want 1 (the output)", st.Side[0].Attach)
+	}
+	wantC := nw.NodeCap(side)
+	if math.Abs(st.Side[0].C-wantC) > 1e-21 {
+		t.Errorf("side load C = %g, want %g", st.Side[0].C, wantC)
+	}
+	if st.Side[0].R != p.R(tech.NEnh, tech.Fall, p.MinW, p.MinL) {
+		t.Errorf("side load R = %g", st.Side[0].R)
+	}
+	// TotalC = out + side.
+	want := nw.NodeCap(out) + wantC
+	if got := st.TotalC(nw); math.Abs(got-want) > 1e-21 {
+		t.Errorf("TotalC = %g, want %g", got, want)
+	}
+}
+
+func TestSideLoadsStopAtSources(t *testing.T) {
+	// Capacitance behind a rail or input must not load the stage.
+	nw, _, out := invNet()
+	other := nw.Node("other")
+	g2 := nw.Node("g2")
+	// A second pulldown from GND to another node: reachable only through
+	// the GND rail, which is an ideal source.
+	nw.AddTrans(tech.NEnh, g2, other, nw.GND(), 0, 0)
+	res := ToNode(nw, out, tech.Fall, Options{})
+	st := res.Stages[0]
+	for _, sl := range st.Side {
+		if sl.Node == other {
+			t.Error("side loading leaked through the GND rail")
+		}
+	}
+}
+
+func TestTreeConstruction(t *testing.T) {
+	nw, ta, out := stackNet()
+	res := Through(nw, ta, tech.Fall, Options{})
+	var st *Stage
+	for _, s := range res.Stages {
+		if s.Target == out {
+			st = s
+		}
+	}
+	if st == nil {
+		t.Fatal("no stage to out")
+	}
+	tree, idx := st.Tree(nw, nil)
+	if tree.Len() < 3 {
+		t.Fatalf("tree too small: %d nodes", tree.Len())
+	}
+	if idx[0] != 0 {
+		t.Error("source should map to tree root")
+	}
+	if err := tree.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Scaling the trigger element doubles its resistance in the tree.
+	var trigIdx int
+	for i, e := range st.Path {
+		if e.Trans == ta {
+			trigIdx = i
+		}
+	}
+	scale := make([]float64, len(st.Path))
+	for i := range scale {
+		scale[i] = 1
+	}
+	scale[trigIdx] = 2
+	t2, idx2 := st.Tree(nw, scale)
+	if got, want := t2.R(idx2[trigIdx+1]), 2*tree.R(idx[trigIdx+1]); math.Abs(got-want) > 1e-9 {
+		t.Errorf("scaled R = %g, want %g", got, want)
+	}
+}
+
+func TestSeriesRAndWorstRC(t *testing.T) {
+	nw, ta, out := stackNet()
+	res := Through(nw, ta, tech.Fall, Options{})
+	for _, st := range res.Stages {
+		if st.Target != out {
+			continue
+		}
+		r := st.SeriesR(nw.Tech)
+		want := 2 * nw.Tech.RSquare(tech.NEnh, tech.Fall)
+		if math.Abs(r-want) > 1e-9 {
+			t.Errorf("SeriesR = %g, want %g", r, want)
+		}
+		if st.WorstRC(nw) <= 0 {
+			t.Error("WorstRC should be positive")
+		}
+	}
+}
+
+func TestMaxPathsTruncation(t *testing.T) {
+	// A ladder of parallel pulldowns gives exponentially many paths;
+	// MaxPaths must cap the enumeration and set Truncated.
+	p := tech.NMOS4()
+	nw := netlist.New("ladder", p)
+	g := nw.Node("g")
+	nw.MarkInput(g)
+	prev := nw.GND()
+	for i := 0; i < 6; i++ {
+		next := nw.Node(string(rune('a' + i)))
+		// Two parallel devices per rung.
+		nw.AddTrans(tech.NEnh, g, prev, next, 0, 0)
+		nw.AddTrans(tech.NEnh, g, prev, next, 0, 0)
+		prev = next
+	}
+	res := ToNode(nw, prev, tech.Fall, Options{MaxPaths: 10})
+	if len(res.Stages) > 10 {
+		t.Errorf("MaxPaths exceeded: %d", len(res.Stages))
+	}
+	if !res.Truncated {
+		t.Error("Truncated should be set")
+	}
+}
+
+func TestValidateCatchesBrokenStages(t *testing.T) {
+	nw, _, out := invNet()
+	res := ToNode(nw, out, tech.Fall, Options{})
+	st := res.Stages[0]
+	bad := *st
+	bad.Path = nil
+	if bad.Validate() == nil {
+		t.Error("empty path should fail validation")
+	}
+	bad2 := *st
+	bad2.Side = []SideLoad{{Node: out, Attach: 99, C: 1}}
+	if bad2.Validate() == nil {
+		t.Error("bad attach should fail validation")
+	}
+}
+
+func TestStageString(t *testing.T) {
+	nw, _, out := invNet()
+	res := ToNode(nw, out, tech.Fall, Options{})
+	s := res.Stages[0].String()
+	if s == "" || len(s) < 10 {
+		t.Errorf("String too short: %q", s)
+	}
+}

@@ -1,0 +1,36 @@
+package switchsim_test
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+	"repro/internal/switchsim"
+	"repro/internal/tech"
+)
+
+// Example simulates an nMOS NAND gate over its truth table.
+func Example() {
+	p := tech.NMOS4()
+	nw := netlist.New("nand", p)
+	a, b, out, mid := nw.Node("a"), nw.Node("b"), nw.Node("out"), nw.Node("mid")
+	nw.MarkInput(a)
+	nw.MarkInput(b)
+	nw.AddTrans(tech.NEnh, a, out, mid, 0, 0)
+	nw.AddTrans(tech.NEnh, b, mid, nw.GND(), 0, 0)
+	nw.AddTrans(tech.NDep, out, nw.Vdd(), out, 0, 4*p.MinL)
+
+	s := switchsim.New(nw)
+	for _, va := range []switchsim.Value{switchsim.V0, switchsim.V1} {
+		for _, vb := range []switchsim.Value{switchsim.V0, switchsim.V1} {
+			s.SetInput(a, va)
+			s.SetInput(b, vb)
+			s.Settle()
+			fmt.Printf("nand(%v,%v) = %v\n", va, vb, s.Value(out))
+		}
+	}
+	// Output:
+	// nand(0,0) = 1
+	// nand(0,1) = 1
+	// nand(1,0) = 1
+	// nand(1,1) = 0
+}

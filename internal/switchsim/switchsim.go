@@ -1,0 +1,519 @@
+// Package switchsim is a three-valued switch-level logic simulator in the
+// tradition of esim/IRSIM: node values are {0, 1, X}, signals carry
+// strengths {power, drive, depletion, charge}, and networks settle by
+// fixpoint iteration over channel-connected groups.
+//
+// The timing verifier uses it to establish steady-state node values (which
+// transistors definitely conduct, which definitely do not), and the test
+// suite uses it to verify the functional correctness of every generated
+// circuit — an ALU that doesn't add is not worth timing.
+package switchsim
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+// Value is a ternary logic value.
+type Value uint8
+
+const (
+	// V0 is logic low.
+	V0 Value = iota
+	// V1 is logic high.
+	V1
+	// VX is unknown/conflict.
+	VX
+)
+
+// String renders the value as "0", "1" or "X".
+func (v Value) String() string {
+	switch v {
+	case V0:
+		return "0"
+	case V1:
+		return "1"
+	default:
+		return "X"
+	}
+}
+
+// Bool converts a definite value to a bool; ok is false for VX.
+func (v Value) Bool() (b, ok bool) {
+	switch v {
+	case V0:
+		return false, true
+	case V1:
+		return true, true
+	}
+	return false, false
+}
+
+// FromBool converts a bool to V0/V1.
+func FromBool(b bool) Value {
+	if b {
+		return V1
+	}
+	return V0
+}
+
+// strength orders signal sources from weakest to strongest.
+type strength uint8
+
+const (
+	sNone   strength = iota
+	sCharge          // stored charge on a capacitive node
+	sDep             // through a depletion-mode pullup
+	sDrive           // through an on enhancement transistor from power
+	sPower           // rails and chip inputs
+)
+
+// sig is a strength/value pair, the element of the resolution lattice.
+type sig struct {
+	s strength
+	v Value
+}
+
+// combine merges two contributions: higher strength wins, equal strengths
+// with disagreeing values yield X.
+func combine(a, b sig) sig {
+	switch {
+	case a.s > b.s:
+		return a
+	case b.s > a.s:
+		return b
+	case a.v == b.v:
+		return a
+	default:
+		return sig{a.s, VX}
+	}
+}
+
+// conduction describes whether a transistor's channel conducts under the
+// current gate value.
+type conduction uint8
+
+const (
+	condOff conduction = iota
+	condOn
+	condMaybe
+)
+
+// Sim is a simulator instance bound to one network. Create with New, set
+// inputs, call Settle, read values.
+type Sim struct {
+	nw     *netlist.Network
+	val    []Value // current value per node index
+	fixed  []bool  // rails and driven inputs
+	osc    []bool  // nodes forced to X by oscillation detection
+	settle int     // settle calls, for diagnostics
+
+	// scratch reused across Settle calls
+	dirty   []bool
+	queue   []int
+	groupID []int
+}
+
+// New creates a simulator with rails at their fixed values and every other
+// node at X.
+func New(nw *netlist.Network) *Sim {
+	s := &Sim{
+		nw:      nw,
+		val:     make([]Value, len(nw.Nodes)),
+		fixed:   make([]bool, len(nw.Nodes)),
+		osc:     make([]bool, len(nw.Nodes)),
+		dirty:   make([]bool, len(nw.Nodes)),
+		groupID: make([]int, len(nw.Nodes)),
+	}
+	for _, n := range nw.Nodes {
+		s.val[n.Index] = VX
+	}
+	s.val[nw.Vdd().Index] = V1
+	s.fixed[nw.Vdd().Index] = true
+	s.val[nw.GND().Index] = V0
+	s.fixed[nw.GND().Index] = true
+	return s
+}
+
+// SetInput drives node n to value v as a strong source. Rails cannot be
+// overridden. Passing VX releases the node back to undriven unknown.
+func (s *Sim) SetInput(n *netlist.Node, v Value) error {
+	if n.IsRail() {
+		return fmt.Errorf("switchsim: cannot drive rail %s", n.Name)
+	}
+	if v == VX {
+		s.fixed[n.Index] = false
+		s.val[n.Index] = VX
+	} else {
+		s.fixed[n.Index] = true
+		s.val[n.Index] = v
+	}
+	s.markDirty(n.Index)
+	return nil
+}
+
+// SetValue overwrites node n's *stored* value without driving it: the
+// node keeps charge-strength state, as if it had been driven earlier and
+// then released. Clocked analyses use this to carry latched state across
+// phases. Rails cannot be overwritten.
+func (s *Sim) SetValue(n *netlist.Node, v Value) error {
+	if n.IsRail() {
+		return fmt.Errorf("switchsim: cannot overwrite rail %s", n.Name)
+	}
+	if s.fixed[n.Index] {
+		return fmt.Errorf("switchsim: %s is driven; release it before SetValue", n.Name)
+	}
+	s.val[n.Index] = v
+	s.markDirty(n.Index)
+	return nil
+}
+
+// SetInputName is SetInput by node name.
+func (s *Sim) SetInputName(name string, v Value) error {
+	n := s.nw.Lookup(name)
+	if n == nil {
+		return fmt.Errorf("switchsim: no node named %q", name)
+	}
+	return s.SetInput(n, v)
+}
+
+// Value returns the current value of node n.
+func (s *Sim) Value(n *netlist.Node) Value { return s.val[n.Index] }
+
+// ValueName returns the value of the named node, or VX if absent.
+func (s *Sim) ValueName(name string) Value {
+	n := s.nw.Lookup(name)
+	if n == nil {
+		return VX
+	}
+	return s.val[n.Index]
+}
+
+// Oscillated reports whether the last Settle forced any node to X because
+// it failed to stabilize (combinational feedback).
+func (s *Sim) Oscillated() bool {
+	for _, o := range s.osc {
+		if o {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Sim) markDirty(idx int) {
+	if !s.dirty[idx] {
+		s.dirty[idx] = true
+		s.queue = append(s.queue, idx)
+	}
+}
+
+// conducts classifies transistor t's channel under current node values.
+func (s *Sim) conducts(t *netlist.Trans) conduction {
+	if t.AlwaysOn() {
+		return condOn
+	}
+	g := s.val[t.Gate.Index]
+	on := FromBool(t.ConductsOn() == 1)
+	switch g {
+	case on:
+		return condOn
+	case VX:
+		return condMaybe
+	default:
+		return condOff
+	}
+}
+
+// Settle iterates until all node values are stable, or until the
+// iteration bound is reached, in which case still-changing nodes are
+// forced to X and marked as oscillating. It returns the number of sweeps
+// performed. On first call (or after SetInput on many nodes) it evaluates
+// everything; later calls are incremental from dirty nodes.
+func (s *Sim) Settle() int {
+	s.settle++
+	if s.settle == 1 && len(s.queue) == 0 {
+		// First settle with no explicit inputs: evaluate everything.
+		for i := range s.nw.Nodes {
+			s.markDirty(i)
+		}
+	}
+	for i := range s.osc {
+		s.osc[i] = false
+	}
+	limit := 20 + 2*len(s.nw.Nodes)
+	hard := 2*limit + 2*len(s.nw.Nodes)
+	sweeps := 0
+	xmode := false // oscillation recovery: changes collapse to X
+	for len(s.queue) > 0 {
+		sweeps++
+		if sweeps > limit {
+			xmode = true
+		}
+		if sweeps > hard {
+			// Safety net: abandon whatever still ping-pongs.
+			for _, idx := range s.queue {
+				s.dirty[idx] = false
+				if !s.fixed[idx] && s.val[idx] != VX {
+					s.val[idx] = VX
+					s.osc[idx] = true
+				}
+			}
+			s.queue = s.queue[:0]
+			break
+		}
+		// A dirty node re-resolves (a) channel groups containing or
+		// adjacent to it and (b) the channels of every transistor it
+		// gates, whose conduction may have changed.
+		work := s.queue
+		s.queue = nil
+		seeds := make([]int, 0, 2*len(work))
+		for _, idx := range work {
+			s.dirty[idx] = false
+			seeds = append(seeds, idx)
+			for _, t := range s.nw.Nodes[idx].Gates {
+				seeds = append(seeds, t.A.Index, t.B.Index)
+			}
+		}
+		changed := s.resolveGroups(seeds)
+		for _, idx := range changed {
+			if xmode && !s.fixed[idx] && s.val[idx] != VX {
+				// Oscillation recovery: a node still changing after the
+				// sweep limit has no stable value — it becomes X, and X
+				// then spreads monotonically until the loop quiesces.
+				s.val[idx] = VX
+				s.osc[idx] = true
+			}
+			s.markDirty(idx)
+		}
+	}
+	return sweeps
+}
+
+// resolveGroups collects the channel-connected groups containing the seed
+// nodes (through non-off transistors), resolves each, applies new values,
+// and returns the indexes whose value changed.
+func (s *Sim) resolveGroups(seeds []int) []int {
+	for i := range s.groupID {
+		s.groupID[i] = -1
+	}
+	var changed []int
+	gid := 0
+	for _, seed := range seeds {
+		n := s.nw.Nodes[seed]
+		if n.IsRail() || s.fixed[seed] {
+			// Strong sources are group boundaries, so a changed source
+			// seeds the groups of its channel neighbors instead of its
+			// own (which would be just itself).
+			for _, t := range n.Terms {
+				o := t.Other(n)
+				if o == nil || s.groupID[o.Index] != -1 ||
+					o.IsRail() || s.fixed[o.Index] {
+					continue
+				}
+				group := s.collectGroup(o.Index, gid)
+				gid++
+				changed = append(changed, s.resolveGroup(group)...)
+			}
+			continue
+		}
+		if s.groupID[seed] != -1 {
+			continue
+		}
+		group := s.collectGroup(seed, gid)
+		gid++
+		changed = append(changed, s.resolveGroup(group)...)
+	}
+	return changed
+}
+
+// collectGroup gathers the channel-connected component of seed through
+// transistors that are not definitely off, tagging members with gid.
+func (s *Sim) collectGroup(seed, gid int) []int {
+	stack := []int{seed}
+	s.groupID[seed] = gid
+	var group []int
+	for len(stack) > 0 {
+		idx := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		group = append(group, idx)
+		n := s.nw.Nodes[idx]
+		if n.IsRail() || s.fixed[idx] {
+			// Strong sources terminate the group: values do not need
+			// to propagate *through* them, only from them.
+			continue
+		}
+		for _, t := range n.Terms {
+			if s.conducts(t) == condOff {
+				continue
+			}
+			o := t.Other(n)
+			if o == nil || s.groupID[o.Index] != -1 {
+				continue
+			}
+			s.groupID[o.Index] = gid
+			stack = append(stack, o.Index)
+		}
+	}
+	return group
+}
+
+// nodeSig is the full resolution state of one node: what definitely
+// drives it, plus the strongest *possible* high and low contributions
+// reaching it through maybe-conducting paths. Tracking the potential
+// strengths separately — and propagating them through the channel graph —
+// is what makes NAND(X, X) = X while keeping NOR(1, X) = 0: a possible
+// path only forces X when it is strong enough to overturn the definite
+// result with the opposite value.
+type nodeSig struct {
+	def    sig
+	potHi  strength // strongest possible contribution of value 1 or X
+	potLo  strength // strongest possible contribution of value 0 or X
+	source bool     // rails and fixed inputs: immutable during resolution
+}
+
+// value reduces the resolved state to a ternary node value.
+func (ns nodeSig) value() Value {
+	v := ns.def.v
+	if v == V1 && ns.potLo >= ns.def.s {
+		return VX
+	}
+	if v == V0 && ns.potHi >= ns.def.s {
+		return VX
+	}
+	return v
+}
+
+// baseSig returns the node's intrinsic contribution: its power value for
+// sources, its stored charge otherwise.
+func (s *Sim) baseSig(idx int) nodeSig {
+	n := s.nw.Nodes[idx]
+	st := sCharge
+	src := false
+	if n.IsRail() || s.fixed[idx] {
+		st = sPower
+		src = true
+	}
+	v := s.val[idx]
+	ns := nodeSig{def: sig{st, v}, source: src}
+	if v != V0 {
+		ns.potHi = st
+	}
+	if v != V1 {
+		ns.potLo = st
+	}
+	return ns
+}
+
+// strengthCap returns the maximum strength a signal retains after passing
+// through transistor t: drive through enhancement devices, depletion
+// through depletion loads. Wire resistors are transparent — a driven
+// signal stays driven across interconnect.
+func strengthCap(t *netlist.Trans) strength {
+	switch t.Type {
+	case tech.NDep:
+		return sDep
+	case tech.RWire:
+		return sPower
+	}
+	return sDrive
+}
+
+func minStrength(a, b strength) strength {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxStrength(a, b strength) strength {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// resolveGroup computes the fixpoint of the strength/value lattice on one
+// channel group and writes back values, returning changed node indexes.
+func (s *Sim) resolveGroup(group []int) []int {
+	sigs := make(map[int]nodeSig, len(group))
+	for _, idx := range group {
+		sigs[idx] = s.baseSig(idx)
+	}
+	// Relax until stable. Each pass propagates one transistor hop, so
+	// the group diameter bounds the iteration count.
+	for pass := 0; pass <= len(group)+1; pass++ {
+		anyChange := false
+		for _, idx := range group {
+			cur := sigs[idx]
+			if cur.source {
+				continue
+			}
+			acc := s.baseSig(idx)
+			n := s.nw.Nodes[idx]
+			for _, t := range n.Terms {
+				cond := s.conducts(t)
+				if cond == condOff {
+					continue
+				}
+				o := t.Other(n)
+				if o == nil {
+					continue
+				}
+				src, ok := sigs[o.Index]
+				if !ok {
+					// Neighbor outside the group (beyond a source
+					// boundary, or another component).
+					src = s.baseSig(o.Index)
+				}
+				cap := strengthCap(t)
+				if cond == condOn {
+					acc.def = combine(acc.def, sig{minStrength(src.def.s, cap), src.def.v})
+				}
+				// Potential strengths flow through both on and
+				// maybe-on channels.
+				acc.potHi = maxStrength(acc.potHi, minStrength(src.potHi, cap))
+				acc.potLo = maxStrength(acc.potLo, minStrength(src.potLo, cap))
+			}
+			if acc != cur {
+				sigs[idx] = acc
+				anyChange = true
+			}
+		}
+		if !anyChange {
+			break
+		}
+	}
+	var changed []int
+	for _, idx := range group {
+		ns := sigs[idx]
+		if ns.source {
+			continue
+		}
+		if nv := ns.value(); nv != s.val[idx] {
+			s.val[idx] = nv
+			changed = append(changed, idx)
+		}
+	}
+	return changed
+}
+
+// ApplyVector sets several inputs by name and settles; a convenience for
+// tests and the verifier.
+func (s *Sim) ApplyVector(vec map[string]Value) error {
+	for name, v := range vec {
+		if err := s.SetInputName(name, v); err != nil {
+			return err
+		}
+	}
+	s.Settle()
+	return nil
+}
+
+// Snapshot returns a copy of all node values indexed like Network.Nodes.
+func (s *Sim) Snapshot() []Value {
+	out := make([]Value, len(s.val))
+	copy(out, s.val)
+	return out
+}

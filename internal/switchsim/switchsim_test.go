@@ -1,0 +1,435 @@
+package switchsim
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+// nmosInv wires a depletion-load inverter: out = NOT in.
+func nmosInv(nw *netlist.Network, in, out *netlist.Node) {
+	nw.AddTrans(tech.NEnh, in, out, nw.GND(), 0, 0)
+	nw.AddTrans(tech.NDep, out, nw.Vdd(), out, 0, 4*nw.Tech.MinL)
+}
+
+// cmosInv wires a complementary inverter.
+func cmosInv(nw *netlist.Network, in, out *netlist.Node) {
+	nw.AddTrans(tech.NEnh, in, out, nw.GND(), 0, 0)
+	nw.AddTrans(tech.PEnh, in, out, nw.Vdd(), 2*nw.Tech.MinW, 0)
+}
+
+func TestNMOSInverterLogic(t *testing.T) {
+	nw := netlist.New("inv", tech.NMOS4())
+	in, out := nw.Node("in"), nw.Node("out")
+	nw.MarkInput(in)
+	nmosInv(nw, in, out)
+	s := New(nw)
+	for _, tc := range []struct{ in, want Value }{
+		{V0, V1}, {V1, V0}, {VX, VX},
+	} {
+		if err := s.SetInput(in, tc.in); err != nil {
+			t.Fatal(err)
+		}
+		s.Settle()
+		if got := s.Value(out); got != tc.want {
+			t.Errorf("inv(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestCMOSInverterLogic(t *testing.T) {
+	nw := netlist.New("cinv", tech.CMOS3())
+	in, out := nw.Node("in"), nw.Node("out")
+	nw.MarkInput(in)
+	cmosInv(nw, in, out)
+	s := New(nw)
+	for _, tc := range []struct{ in, want Value }{
+		{V0, V1}, {V1, V0}, {VX, VX},
+	} {
+		s.SetInput(in, tc.in)
+		s.Settle()
+		if got := s.Value(out); got != tc.want {
+			t.Errorf("inv(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestNMOSNand2(t *testing.T) {
+	nw := netlist.New("nand", tech.NMOS4())
+	a, b, out := nw.Node("a"), nw.Node("b"), nw.Node("out")
+	mid := nw.Node("mid")
+	nw.MarkInput(a)
+	nw.MarkInput(b)
+	nw.AddTrans(tech.NEnh, a, out, mid, 0, 0)
+	nw.AddTrans(tech.NEnh, b, mid, nw.GND(), 0, 0)
+	nw.AddTrans(tech.NDep, out, nw.Vdd(), out, 0, 4*nw.Tech.MinL)
+	s := New(nw)
+	cases := []struct{ a, b, want Value }{
+		{V0, V0, V1}, {V0, V1, V1}, {V1, V0, V1}, {V1, V1, V0},
+		{VX, V1, VX}, {V0, VX, V1}, // 0 on a gate kills the path regardless of b
+	}
+	for _, tc := range cases {
+		s.SetInput(a, tc.a)
+		s.SetInput(b, tc.b)
+		s.Settle()
+		if got := s.Value(out); got != tc.want {
+			t.Errorf("nand(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestCMOSNor2(t *testing.T) {
+	p := tech.CMOS3()
+	nw := netlist.New("nor", p)
+	a, b, out, mid := nw.Node("a"), nw.Node("b"), nw.Node("out"), nw.Node("mid")
+	nw.MarkInput(a)
+	nw.MarkInput(b)
+	// Parallel n pulldowns, series p pullups.
+	nw.AddTrans(tech.NEnh, a, out, nw.GND(), 0, 0)
+	nw.AddTrans(tech.NEnh, b, out, nw.GND(), 0, 0)
+	nw.AddTrans(tech.PEnh, a, nw.Vdd(), mid, 2*p.MinW, 0)
+	nw.AddTrans(tech.PEnh, b, mid, out, 2*p.MinW, 0)
+	s := New(nw)
+	cases := []struct{ a, b, want Value }{
+		{V0, V0, V1}, {V0, V1, V0}, {V1, V0, V0}, {V1, V1, V0},
+		{V1, VX, V0},
+	}
+	for _, tc := range cases {
+		s.SetInput(a, tc.a)
+		s.SetInput(b, tc.b)
+		s.Settle()
+		if got := s.Value(out); got != tc.want {
+			t.Errorf("nor(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestPassTransistorChain(t *testing.T) {
+	nw := netlist.New("pass", tech.NMOS4())
+	src := nw.Node("src")
+	gate := nw.Node("gate")
+	nw.MarkInput(src)
+	nw.MarkInput(gate)
+	prev := src
+	for i := 0; i < 4; i++ {
+		next := nw.Node(nodeName("n", i))
+		nw.AddTrans(tech.NEnh, gate, prev, next, 0, 0)
+		prev = next
+	}
+	s := New(nw)
+	s.SetInput(src, V1)
+	s.SetInput(gate, V1)
+	s.Settle()
+	if got := s.Value(prev); got != V1 {
+		t.Errorf("chain end with gate on = %v, want 1", got)
+	}
+	// Gate off: the chain should retain its old value (stored charge).
+	s.SetInput(gate, V0)
+	s.SetInput(src, V0)
+	s.Settle()
+	if got := s.Value(prev); got != V1 {
+		t.Errorf("chain end with gate off = %v, want held 1", got)
+	}
+	// Gate unknown: held 1 vs potential 0 through the chain → X.
+	s.SetInput(gate, VX)
+	s.Settle()
+	if got := s.Value(prev); got != VX {
+		t.Errorf("chain end with gate X = %v, want X", got)
+	}
+}
+
+func nodeName(prefix string, i int) string {
+	return prefix + string(rune('0'+i))
+}
+
+func TestChargeSharingConflict(t *testing.T) {
+	nw := netlist.New("share", tech.NMOS4())
+	a, b, g := nw.Node("a"), nw.Node("b"), nw.Node("g")
+	nw.MarkInput(g)
+	set := nw.Node("set")
+	nw.MarkInput(set)
+	// Drive a high and b low via pass transistors from inputs, then
+	// disconnect and connect a-b: conflicting charge → X on both.
+	inA, inB := nw.Node("inA"), nw.Node("inB")
+	nw.MarkInput(inA)
+	nw.MarkInput(inB)
+	nw.AddTrans(tech.NEnh, set, inA, a, 0, 0)
+	nw.AddTrans(tech.NEnh, set, inB, b, 0, 0)
+	nw.AddTrans(tech.NEnh, g, a, b, 0, 0)
+
+	s := New(nw)
+	s.SetInput(inA, V1)
+	s.SetInput(inB, V0)
+	s.SetInput(set, V1)
+	s.SetInput(g, V0)
+	s.Settle()
+	if s.Value(a) != V1 || s.Value(b) != V0 {
+		t.Fatalf("setup failed: a=%v b=%v", s.Value(a), s.Value(b))
+	}
+	s.SetInput(set, V0)
+	s.SetInput(g, V1)
+	s.Settle()
+	if s.Value(a) != VX || s.Value(b) != VX {
+		t.Errorf("charge sharing: a=%v b=%v, want X X", s.Value(a), s.Value(b))
+	}
+}
+
+func TestDrivenBeatsCharge(t *testing.T) {
+	nw := netlist.New("str", tech.NMOS4())
+	g, out := nw.Node("g"), nw.Node("out")
+	nw.MarkInput(g)
+	// Pulldown on out; out also shares charge with a floating cap node.
+	float := nw.Node("float")
+	always := nw.Node("always")
+	nw.MarkInput(always)
+	nw.AddTrans(tech.NEnh, g, out, nw.GND(), 0, 0)
+	nw.AddTrans(tech.NEnh, always, out, float, 0, 0)
+	s := New(nw)
+	s.SetInput(always, V1)
+	s.SetInput(g, V1)
+	s.Settle()
+	if s.Value(out) != V0 || s.Value(float) != V0 {
+		t.Errorf("driven low: out=%v float=%v, want 0 0", s.Value(out), s.Value(float))
+	}
+}
+
+func TestRingOscillatorGoesX(t *testing.T) {
+	nw := netlist.New("ring", tech.NMOS4())
+	n := []*netlist.Node{nw.Node("r0"), nw.Node("r1"), nw.Node("r2")}
+	for i := range n {
+		nmosInv(nw, n[i], n[(i+1)%3])
+	}
+	s := New(nw)
+	s.Settle()
+	for i, nd := range n {
+		if got := s.Value(nd); got != VX {
+			t.Errorf("ring node %d = %v, want X", i, got)
+		}
+	}
+}
+
+func TestLatchHoldsState(t *testing.T) {
+	// Cross-coupled nMOS inverters with a pass-transistor write port.
+	nw := netlist.New("latch", tech.NMOS4())
+	q, qb := nw.Node("q"), nw.Node("qb")
+	d, wr := nw.Node("d"), nw.Node("wr")
+	nw.MarkInput(d)
+	nw.MarkInput(wr)
+	nmosInv(nw, q, qb)
+	nmosInv(nw, qb, q)
+	nw.AddTrans(tech.NEnh, wr, d, q, 2*nw.Tech.MinW, 0) // strong write port
+	s := New(nw)
+	s.SetInput(d, V0)
+	s.SetInput(wr, V1)
+	s.Settle()
+	if s.Value(q) != V0 || s.Value(qb) != V1 {
+		t.Fatalf("write 0: q=%v qb=%v", s.Value(q), s.Value(qb))
+	}
+	s.SetInput(wr, V0)
+	s.Settle()
+	if s.Value(q) != V0 || s.Value(qb) != V1 {
+		t.Errorf("hold: q=%v qb=%v, want 0 1", s.Value(q), s.Value(qb))
+	}
+}
+
+func TestSetInputErrors(t *testing.T) {
+	nw := netlist.New("err", tech.NMOS4())
+	s := New(nw)
+	if err := s.SetInput(nw.Vdd(), V0); err == nil {
+		t.Error("driving Vdd should fail")
+	}
+	if err := s.SetInputName("nope", V1); err == nil {
+		t.Error("driving a missing node should fail")
+	}
+}
+
+func TestXAbstractionSoundness(t *testing.T) {
+	// The defining soundness property of ternary switch-level simulation:
+	// weakening any subset of inputs from definite values to X must never
+	// change a node that stays definite — X-ing inputs can only lose
+	// information, not invent it. Checked on combinational networks
+	// (NAND trees) over random vectors and random X masks.
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	p := tech.NMOS4()
+	for trial := 0; trial < 30; trial++ {
+		// Random 3-level NAND network over 6 inputs.
+		nw := netlist.New("rand", p)
+		var ins []*netlist.Node
+		for i := 0; i < 6; i++ {
+			n := nw.Node(nodeName("i", i))
+			nw.MarkInput(n)
+			ins = append(ins, n)
+		}
+		pool := append([]*netlist.Node{}, ins...)
+		for g := 0; g < 8; g++ {
+			a := pool[int(next()%uint64(len(pool)))]
+			b := pool[int(next()%uint64(len(pool)))]
+			out := nw.Node(nodeName("g", g))
+			mid := nw.Node(nodeName("m", g))
+			nw.AddTrans(tech.NEnh, a, out, mid, 0, 0)
+			nw.AddTrans(tech.NEnh, b, mid, nw.GND(), 0, 0)
+			nw.AddTrans(tech.NDep, out, nw.Vdd(), out, 0, 4*p.MinL)
+			pool = append(pool, out)
+		}
+
+		// Full vector.
+		full := New(nw)
+		vec := next()
+		for i, in := range ins {
+			full.SetInput(in, FromBool(vec&(1<<i) != 0))
+		}
+		full.Settle()
+		ref := full.Snapshot()
+
+		// Same vector with a random X mask.
+		weak := New(nw)
+		mask := next()
+		for i, in := range ins {
+			if mask&(1<<i) != 0 {
+				weak.SetInput(in, VX)
+			} else {
+				weak.SetInput(in, FromBool(vec&(1<<i) != 0))
+			}
+		}
+		weak.Settle()
+		got := weak.Snapshot()
+		for idx, v := range got {
+			if v != VX && v != ref[idx] {
+				t.Fatalf("trial %d: node %s definite %v under X mask but %v under full vector",
+					trial, nw.Nodes[idx].Name, v, ref[idx])
+			}
+		}
+	}
+}
+
+func TestOscillationFlagged(t *testing.T) {
+	// A NAND-gated ring oscillator with a definite enable: once enabled,
+	// node values flip every sweep and Settle must cut it off, forcing
+	// the ring to X and reporting oscillation.
+	nw := netlist.New("osc", tech.NMOS4())
+	en := nw.Node("en")
+	nw.MarkInput(en)
+	n0, n1, n2 := nw.Node("r0"), nw.Node("r1"), nw.Node("r2")
+	// NAND(en, r2) -> r0
+	mid := nw.Node("mid")
+	nw.AddTrans(tech.NEnh, en, n0, mid, 0, 0)
+	nw.AddTrans(tech.NEnh, n2, mid, nw.GND(), 0, 0)
+	nw.AddTrans(tech.NDep, n0, nw.Vdd(), n0, 0, 4*nw.Tech.MinL)
+	nmosInv(nw, n0, n1)
+	nmosInv(nw, n1, n2)
+	s := New(nw)
+	// Disabled: stable, r0 high.
+	s.SetInput(en, V0)
+	s.Settle()
+	if s.Oscillated() {
+		t.Error("disabled ring should not oscillate")
+	}
+	if got := s.Value(n0); got != V1 {
+		t.Fatalf("disabled ring r0 = %v, want 1", got)
+	}
+	// Enabled: the ring has no stable assignment; Settle must terminate
+	// and mark oscillation.
+	s.SetInput(en, V1)
+	s.Settle()
+	if !s.Oscillated() {
+		t.Error("enabled ring should be flagged as oscillating")
+	}
+	for i, n := range []*netlist.Node{n0, n1, n2} {
+		if got := s.Value(n); got != VX {
+			t.Errorf("enabled ring node %d = %v, want X", i, got)
+		}
+	}
+}
+
+func TestSetValue(t *testing.T) {
+	nw := netlist.New("sv", tech.NMOS4())
+	g := nw.Node("g")
+	nw.MarkInput(g)
+	a, b := nw.Node("a"), nw.Node("b")
+	nw.AddTrans(tech.NEnh, g, a, b, 0, 0)
+	s := New(nw)
+	// Stored values persist and share: agreeing charge stays definite,
+	// conflicting charge collapses to X.
+	if err := s.SetValue(a, V1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetValue(b, V1); err != nil {
+		t.Fatal(err)
+	}
+	s.SetInput(g, V1)
+	s.Settle()
+	if got := s.Value(b); got != V1 {
+		t.Errorf("b = %v, want held 1", got)
+	}
+	s.SetInput(g, V0)
+	s.Settle()
+	if err := s.SetValue(a, V0); err != nil {
+		t.Fatal(err)
+	}
+	s.SetInput(g, V1)
+	s.Settle()
+	if s.Value(a) != VX || s.Value(b) != VX {
+		t.Errorf("conflicting stored charge: a=%v b=%v, want X X", s.Value(a), s.Value(b))
+	}
+	// Error paths.
+	if err := s.SetValue(nw.Vdd(), V0); err == nil {
+		t.Error("SetValue on a rail should fail")
+	}
+	s.SetInput(g, V0)
+	if err := s.SetValue(g, V1); err == nil {
+		t.Error("SetValue on a driven node should fail")
+	}
+}
+
+func TestWireTransparency(t *testing.T) {
+	// A driven value crosses a wire resistor at full strength: the far
+	// side of a wire must still overpower stored charge and depletion
+	// pullups, unlike a pass-transistor hop.
+	p := tech.NMOS4()
+	nw := netlist.New("wire", p)
+	in, g := nw.Node("in"), nw.Node("g")
+	nw.MarkInput(in)
+	nw.MarkInput(g)
+	far := nw.Node("far")
+	nw.AddResistor(in, far, 50e3)
+	// A depletion pullup fights the far node; a wire-carried 0 must win
+	// (it is still drive strength), where a pass-carried 0 also wins but
+	// a *charge*-carried 0 would not.
+	nw.AddTrans(tech.NDep, far, nw.Vdd(), far, 0, 4*p.MinL)
+	s := New(nw)
+	s.SetInput(in, V0)
+	s.Settle()
+	if got := s.Value(far); got != V0 {
+		t.Errorf("wire-driven 0 vs depletion pullup = %v, want 0", got)
+	}
+	s.SetInput(in, V1)
+	s.Settle()
+	if got := s.Value(far); got != V1 {
+		t.Errorf("wire-driven 1 = %v, want 1", got)
+	}
+}
+
+func TestValueHelpers(t *testing.T) {
+	if b, ok := V1.Bool(); !b || !ok {
+		t.Error("V1.Bool")
+	}
+	if b, ok := V0.Bool(); b || !ok {
+		t.Error("V0.Bool")
+	}
+	if _, ok := VX.Bool(); ok {
+		t.Error("VX.Bool should not be ok")
+	}
+	if FromBool(true) != V1 || FromBool(false) != V0 {
+		t.Error("FromBool")
+	}
+	if V0.String() != "0" || V1.String() != "1" || VX.String() != "X" {
+		t.Error("String")
+	}
+}
