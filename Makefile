@@ -1,0 +1,26 @@
+# Build/verify/benchmark driver. `make all` is the pre-merge gate: static
+# checks, the race-mode short suite, and a full build.
+GO ?= go
+
+.PHONY: all build vet test race bench
+
+all: vet race build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The short suite under the race detector: exercises the shared stage
+# database and worker-pool fan-out concurrently (see docs/PERFORMANCE.md).
+race:
+	$(GO) test -race -short ./...
+
+# Headline perf benchmarks (E2 accuracy suite, E6 chip-scale analysis),
+# three runs each, recorded in BENCH_1.json next to the seed baseline.
+bench:
+	./scripts/bench.sh

@@ -43,6 +43,9 @@ func tables(b *testing.B) *delay.Tables {
 // meanAbsErr computes the mean absolute percent error of one model over a
 // set of accuracy rows.
 func meanAbsErr(rows []experiments.AccuracyRow, model string) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
 	s := 0.0
 	for _, r := range rows {
 		s += math.Abs(r.Err(model))

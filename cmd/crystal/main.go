@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/charlib"
@@ -46,6 +48,43 @@ type config struct {
 	runERC    bool
 	deadline  float64
 	loopbreak string
+	cpuprof   string
+	memprof   string
+}
+
+// profileStart begins CPU profiling if cpuprof names a file, returning a
+// stop function to defer. profileStop writes a heap profile if memprof
+// names a file. Both are the stock runtime/pprof protocol, analyzed with
+// `go tool pprof`.
+func profileStart(cpuprof string) (func(), error) {
+	if cpuprof == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(cpuprof)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+func profileStop(memprof string) error {
+	if memprof == "" {
+		return nil
+	}
+	f, err := os.Create(memprof)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // settle the heap so the profile reflects live data
+	return pprof.WriteHeapProfile(f)
 }
 
 func main() {
@@ -62,10 +101,22 @@ func main() {
 	flag.BoolVar(&cfg.runERC, "erc", false, "run electrical rule checks before timing")
 	flag.Float64Var(&cfg.deadline, "deadline", 0, "if positive, print a slack report against this time (seconds)")
 	flag.StringVar(&cfg.loopbreak, "loopbreak", "", "comma list of nodes whose fanout is cut (feedback directive)")
+	flag.StringVar(&cfg.cpuprof, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&cfg.memprof, "memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	violations, err := run(cfg, os.Stdout)
+	stopCPU, err := profileStart(cfg.cpuprof)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, "crystal:", err)
+		os.Exit(1)
+	}
+	violations, err := run(cfg, os.Stdout)
+	stopCPU()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crystal:", err)
+		os.Exit(1)
+	}
+	if err := profileStop(cfg.memprof); err != nil {
 		fmt.Fprintln(os.Stderr, "crystal:", err)
 		os.Exit(1)
 	}

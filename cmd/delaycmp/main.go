@@ -7,12 +7,15 @@
 // Usage:
 //
 //	delaycmp [-tech nmos-4u|cmos-3u] [-exp e2,e3,...|all] [-tables char|analytic]
+//	         [-workers N] [-cpuprofile f] [-memprofile f]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/charlib"
@@ -26,7 +29,38 @@ func main() {
 	expList := flag.String("exp", "all", "experiments to run: comma list of e2..e8, or all")
 	tables := flag.String("tables", "char", "delay tables: char (characterized) or analytic")
 	format := flag.String("format", "table", "output for accuracy experiments: table or csv")
+	workers := flag.Int("workers", 0, "worker goroutines for independent rows (0 = all cores, 1 = serial)")
+	cpuprof := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprof := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	experiments.Workers = *workers
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	var p *tech.Params
 	switch *techName {

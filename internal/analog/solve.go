@@ -40,11 +40,12 @@ func (m *matrix) solveInPlace(b []float64) error {
 	if len(b) != n {
 		return fmt.Errorf("analog: rhs length %d does not match matrix size %d", len(b), n)
 	}
+	a := m.a
 	for col := 0; col < n; col++ {
 		// Pivot selection.
-		piv, pmax := col, math.Abs(m.at(col, col))
+		piv, pmax := col, math.Abs(a[col*n+col])
 		for r := col + 1; r < n; r++ {
-			if v := math.Abs(m.at(r, col)); v > pmax {
+			if v := math.Abs(a[r*n+col]); v > pmax {
 				piv, pmax = r, v
 			}
 		}
@@ -52,34 +53,43 @@ func (m *matrix) solveInPlace(b []float64) error {
 			return fmt.Errorf("%w (pivot %d)", errSingular, col)
 		}
 		if piv != col {
-			ri, rj := piv*n, col*n
-			for k := 0; k < n; k++ {
-				m.a[ri+k], m.a[rj+k] = m.a[rj+k], m.a[ri+k]
+			prow := a[piv*n : piv*n+n]
+			crow := a[col*n : col*n+n]
+			for k := range crow {
+				prow[k], crow[k] = crow[k], prow[k]
 			}
 			b[piv], b[col] = b[col], b[piv]
 		}
-		// Eliminate below.
-		inv := 1 / m.at(col, col)
+		// Eliminate below. Subslicing the pivot row and each target row
+		// lets the compiler drop bounds checks from the inner loop.
+		crow := a[col*n+col : col*n+n]
+		inv := 1 / crow[0]
+		bc := b[col]
 		for r := col + 1; r < n; r++ {
-			f := m.at(r, col) * inv
+			row := a[r*n+col : r*n+n]
+			f := row[0] * inv
 			if f == 0 {
 				continue
 			}
-			ri, ci := r*n, col*n
-			for k := col; k < n; k++ {
-				m.a[ri+k] -= f * m.a[ci+k]
+			// MNA rows are sparse (node degree + a few source entries);
+			// skipping the pivot row's exact zeros subtracts nothing and
+			// preserves the zero pattern for later columns.
+			for k, cv := range crow {
+				if cv != 0 {
+					row[k] -= f * cv
+				}
 			}
-			b[r] -= f * b[col]
+			b[r] -= f * bc
 		}
 	}
 	// Back substitution.
 	for r := n - 1; r >= 0; r-- {
+		row := a[r*n : r*n+n]
 		s := b[r]
-		ri := r * n
 		for k := r + 1; k < n; k++ {
-			s -= m.a[ri+k] * b[k]
+			s -= row[k] * b[k]
 		}
-		b[r] = s / m.a[ri+r]
+		b[r] = s / row[r]
 	}
 	return nil
 }

@@ -22,10 +22,10 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"repro/internal/delay"
 	"repro/internal/netlist"
@@ -51,6 +51,21 @@ type Event struct {
 type Options struct {
 	// Stage bounds path enumeration (see stage.Options).
 	Stage stage.Options
+	// DB optionally shares a precomputed stage database built by an
+	// earlier run over the same network with the same sensitization
+	// (fixed values, seeded inputs, pruning mode, enumeration bounds).
+	// Run verifies the database's stamp against this analysis and falls
+	// back to a private database on any mismatch, so a stale DB can cost
+	// time but never correctness. Obtain one from Analyzer.StageDB after
+	// a Run. Safe to share across concurrent analyzers.
+	DB *stage.DB
+	// Workers sets the parallelism of the analysis setup: with more than
+	// one worker (0 selects GOMAXPROCS) the stage database is prewarmed
+	// concurrently before the event loop instead of being filled lazily
+	// inside it. The event loop itself is always serial and arrival
+	// times are bit-identical at every worker count; Workers = 1 is the
+	// strict no-goroutine mode.
+	Workers int
 	// MaxEventsPerNode guards against combinational feedback: after this
 	// many propagation rounds from one node's arrival the analyzer stops
 	// propagating it and records the node in Unbounded (default 150 —
@@ -101,19 +116,27 @@ type Analyzer struct {
 	seeded       []seedEvent
 	fixed        map[int]switchsim.Value
 	initial      []switchsim.Value // pre-settle stored values (clocked analyses)
-	loopBreak    map[int]bool
+	loopBreak    []bool
 	cachedOracle stage.Oracle
 	queue        eventHeap
-	queued       map[qkey]bool
-	stageEv      int // stages evaluated (cost metric)
+	queued       [][2]bool // per (node, transition): live entry in the heap
+	stageEv      int       // stages evaluated (cost metric)
 
-	// Stage enumeration caches: sensitization is static during Run, so a
-	// trigger's stages never change. Keys combine element index and
-	// transition; release stages also key on the released node.
-	throughCache map[[2]int][]*stage.Stage
-	releaseCache map[[2]int][]*stage.Stage
-	fromCache    map[[2]int][]*stage.Stage
-	groupCache   map[int][]*netlist.Node
+	// db memoizes stage enumeration: sensitization is static during Run,
+	// so a trigger's stages never change. Either a private database or
+	// one shared via Options.DB (stamp-checked in Run).
+	db *stage.DB
+
+	// gates[n] lists node n's gated (non-depletion) transistors with
+	// their conduction polarity predecoded, so the event loop does not
+	// re-derive AlwaysOn/ConductsOn per propagation.
+	gates [][]gateRef
+}
+
+// gateRef is one predecoded gate connection.
+type gateRef struct {
+	t   *netlist.Trans
+	on1 bool // ConductsOn() == 1: the device conducts when its gate is high
 }
 
 type seedEvent struct {
@@ -136,18 +159,51 @@ type qitem struct {
 }
 
 // eventHeap is a min-heap of pending propagations ordered by arrival time.
+// It implements sift-up/down directly on the slice rather than through
+// container/heap, so pushes and pops move qitem values without boxing
+// them into an interface (this is the innermost loop of every analysis).
 type eventHeap []qitem
 
-func (h eventHeap) Len() int            { return len(h) }
-func (h eventHeap) Less(i, j int) bool  { return h[i].t < h[j].t }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(qitem)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+// push inserts an item and restores the heap invariant.
+func (h *eventHeap) push(it qitem) {
+	*h = append(*h, it)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p].t <= s[i].t {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+}
+
+// pop removes and returns the earliest item. The heap must be non-empty.
+func (h *eventHeap) pop() qitem {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && s[r].t < s[l].t {
+			c = r
+		}
+		if s[i].t <= s[c].t {
+			break
+		}
+		s[i], s[c] = s[c], s[i]
+		i = c
+	}
+	return top
 }
 
 // New creates an analyzer for the network using the given delay model.
@@ -238,15 +294,21 @@ func (a *Analyzer) Run() error {
 	nw := a.Net
 	a.events = make([][2]Event, len(nw.Nodes))
 	a.count = make([][2]int, len(nw.Nodes))
-	a.queued = make(map[qkey]bool)
-	a.loopBreak = make(map[int]bool, len(a.Opts.LoopBreak))
+	a.queued = make([][2]bool, len(nw.Nodes))
+	a.queue = make(eventHeap, 0, 4*len(nw.Nodes))
+	a.loopBreak = make([]bool, len(nw.Nodes))
 	for _, n := range a.Opts.LoopBreak {
 		a.loopBreak[n.Index] = true
 	}
-	a.throughCache = make(map[[2]int][]*stage.Stage)
-	a.releaseCache = make(map[[2]int][]*stage.Stage)
-	a.fromCache = make(map[[2]int][]*stage.Stage)
-	a.groupCache = make(map[int][]*netlist.Node)
+	a.gates = make([][]gateRef, len(nw.Nodes))
+	for i, n := range nw.Nodes {
+		for _, t := range n.Gates {
+			if t.AlwaysOn() {
+				continue // depletion devices do not respond to their gate
+			}
+			a.gates[i] = append(a.gates[i], gateRef{t, t.ConductsOn() == 1})
+		}
+	}
 
 	// Static sensitization: settle the network with fixed values; nodes
 	// that receive events are left at X (they change during analysis).
@@ -287,24 +349,40 @@ func (a *Analyzer) Run() error {
 	a.sim.Settle()
 	a.static = a.sim.Snapshot()
 
+	// Stage database: accept the shared one only if it was built over
+	// this network under the same sensitization and enumeration bounds;
+	// otherwise build a private one.
+	stamp := a.stageStamp()
+	if a.Opts.DB != nil && a.Opts.DB.Network() == nw && a.Opts.DB.Stamp == stamp {
+		a.db = a.Opts.DB
+	} else {
+		opt := a.Opts.Stage
+		opt.Oracle = a.oracle()
+		a.db = stage.NewDB(nw, opt)
+		a.db.Stamp = stamp
+	}
+	if w := Workers(a.Opts.Workers, 0); w > 1 {
+		a.db.Prewarm(w)
+	}
+
 	for _, s := range a.seeded {
 		a.improve(s.node.Index, s.tr, Event{
 			T: s.t, Slope: s.slope, Valid: true, FromNode: -1,
 		})
 	}
 
-	for a.queue.Len() > 0 {
+	for len(a.queue) > 0 {
 		// Pop the earliest pending event: processing in time order makes
 		// most improvements final on first visit — longest-path over a
 		// DAG degenerates to one visit per node; reconvergence and
 		// cycles re-queue. The heap holds stale entries (an improvement
 		// re-pushes with the new time); only an entry matching the
 		// node's current arrival is live.
-		it := heap.Pop(&a.queue).(qitem)
-		if !a.queued[it.qkey] || it.t != a.events[it.node][it.tr].T {
+		it := a.queue.pop()
+		if !a.queued[it.node][it.tr] || it.t != a.events[it.node][it.tr].T {
 			continue // stale: a fresher entry is in the heap
 		}
-		a.queued[it.qkey] = false
+		a.queued[it.node][it.tr] = false
 		// Feedback guard: counts propagation rounds, not improvements,
 		// so deep longest-path relaxation is unaffected while true
 		// cycles (which re-queue forever) are cut off.
@@ -345,11 +423,10 @@ func (a *Analyzer) improve(node int, tr tech.Transition, ev Event) bool {
 		}
 	}
 	*cur = ev
-	k := qkey{node, tr}
 	// Always push: the heap tolerates stale entries (skipped at pop),
 	// and the new arrival time needs its own priority.
-	a.queued[k] = true
-	heap.Push(&a.queue, qitem{k, ev.T})
+	a.queued[node][tr] = true
+	a.queue.push(qitem{qkey{node, tr}, ev.T})
 	return true
 }
 
@@ -364,25 +441,15 @@ func (a *Analyzer) propagate(node int, tr tech.Transition) {
 	if !ev.Valid {
 		return
 	}
-	opt := a.Opts.Stage
-	opt.Oracle = a.oracle()
 
 	// 1. Gate consequences.
-	for _, t := range n.Gates {
-		if t.AlwaysOn() {
-			continue // depletion devices do not respond to their gate
-		}
-		turnsOn := (tr == tech.Rise) == (t.ConductsOn() == 1)
+	for _, g := range a.gates[node] {
+		t := g.t
+		turnsOn := (tr == tech.Rise) == g.on1
 		if turnsOn {
 			for _, targetTr := range []tech.Transition{tech.Rise, tech.Fall} {
-				key := [2]int{t.Index, int(targetTr)}
-				stages, ok := a.throughCache[key]
-				if !ok {
-					res := stage.Through(nw, t, targetTr, opt)
-					a.Truncated = a.Truncated || res.Truncated
-					stages = res.Stages
-					a.throughCache[key] = stages
-				}
+				stages, trunc := a.db.Through(t, targetTr)
+				a.Truncated = a.Truncated || trunc
 				for _, st := range stages {
 					a.applyStage(st, node, tr, ev)
 				}
@@ -391,30 +458,16 @@ func (a *Analyzer) propagate(node int, tr tech.Transition) {
 			// Release: every node channel-connected to the switched-off
 			// device may drift toward its remaining drivers (the NAND
 			// output released by a mid-stack input sits several hops
-			// from the device itself).
-			group, ok := a.groupCache[t.Index]
-			if !ok {
-				group = a.channelGroup(t)
-				a.groupCache[t.Index] = group
-			}
-			for _, m := range group {
+			// from the device itself). Drive paths are indexed per
+			// (node, transition) — NOT per switched-off device: the same
+			// path set serves every release of the group, with paths
+			// through the off device filtered at apply time.
+			for _, m := range a.db.Group(t) {
 				for _, targetTr := range []tech.Transition{tech.Rise, tech.Fall} {
-					// Cache drive paths per (node, transition) — NOT per
-					// switched-off device: the same path set serves every
-					// release of the group, with paths through the off
-					// device filtered at apply time. (Enumerating per
-					// device multiplied the dominant stage-construction
-					// cost by the channel-group size.)
-					key := [2]int{m.Index, int(targetTr)}
-					stages, ok := a.releaseCache[key]
-					if !ok {
-						res := stage.ToNode(nw, m, targetTr, opt)
-						a.Truncated = a.Truncated || res.Truncated
-						stages = res.Stages
-						a.releaseCache[key] = stages
-					}
+					stages, trunc := a.db.Release(m, targetTr)
+					a.Truncated = a.Truncated || trunc
 					for _, st := range stages {
-						if stageUses(st, t) {
+						if st.UsesTrans(t) {
 							continue // that path died with the device
 						}
 						a.applyStage(st, node, tr, ev)
@@ -431,65 +484,37 @@ func (a *Analyzer) propagate(node int, tr tech.Transition) {
 	// the driven group, and re-propagating would bounce arrivals back
 	// and forth across channel-connected pairs forever.
 	if n.Kind == netlist.KindInput && len(n.Terms) > 0 {
-		key := [2]int{node, int(tr)}
-		stages, ok := a.fromCache[key]
-		if !ok {
-			res := stage.FromNode(nw, n, tr, opt)
-			a.Truncated = a.Truncated || res.Truncated
-			stages = res.Stages
-			a.fromCache[key] = stages
-		}
+		stages, trunc := a.db.From(n, tr)
+		a.Truncated = a.Truncated || trunc
 		for _, st := range stages {
 			a.applyStage(st, node, tr, ev)
 		}
 	}
 }
 
-// channelGroup returns the non-source nodes channel-connected to either
-// terminal of t through possibly-conducting transistors (t itself
-// excluded), without expanding through strong sources.
-func (a *Analyzer) channelGroup(t *netlist.Trans) []*netlist.Node {
-	oracle := a.oracle()
-	seen := make(map[*netlist.Node]bool)
-	var out []*netlist.Node
-	var q []*netlist.Node
-	for _, m := range []*netlist.Node{t.A, t.B} {
-		if !m.IsSource() && !seen[m] {
-			seen[m] = true
-			out = append(out, m)
-			q = append(q, m)
-		}
-	}
-	for len(q) > 0 {
-		n := q[0]
-		q = q[1:]
-		for _, tr := range n.Terms {
-			if tr == t {
-				continue
-			}
-			if oracle != nil && oracle(tr) == stage.Off {
-				continue
-			}
-			o := tr.Other(n)
-			if o == nil || seen[o] || o.IsSource() {
-				continue
-			}
-			seen[o] = true
-			out = append(out, o)
-			q = append(q, o)
-		}
-	}
-	return out
-}
+// StageDB returns the stage database this analysis used (available after
+// Run). Hand it to Options.DB of a later analyzer over the same network
+// and sensitization — e.g. the same circuit under a different delay model
+// — to skip re-enumerating every stage. The database is safe to share
+// across concurrent analyzers.
+func (a *Analyzer) StageDB() *stage.DB { return a.db }
 
-// stageUses reports whether the stage's path runs through transistor t.
-func stageUses(st *stage.Stage, t *netlist.Trans) bool {
-	for _, e := range st.Path {
-		if e.Trans == t {
-			return true
+// stageStamp encodes everything stage enumeration depends on: the static
+// sensitization values and the enumeration bounds. Two analyses with equal
+// stamps over the same network enumerate identical stages, so they may
+// share one stage database.
+func (a *Analyzer) stageStamp() string {
+	opt := a.Opts.Stage.Fill()
+	var b strings.Builder
+	fmt.Fprintf(&b, "d%d|p%d|", opt.MaxDepth, opt.MaxPaths)
+	if a.Opts.NoStaticPruning || a.static == nil {
+		b.WriteString("worst")
+	} else {
+		for _, v := range a.static {
+			b.WriteByte('0' + byte(v))
 		}
 	}
-	return false
+	return b.String()
 }
 
 // applyStage evaluates one stage against the triggering event and records

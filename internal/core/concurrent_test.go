@@ -1,0 +1,145 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/delay"
+	"repro/internal/gen"
+	"repro/internal/stage"
+	"repro/internal/switchsim"
+	"repro/internal/tech"
+)
+
+// sameEvent compares arrivals by value, ignoring the Via stage pointer:
+// analyzers with private databases hold distinct (but equivalent) stage
+// objects, and the guarantee under test is bit-identical times.
+func sameEvent(a, b Event) bool {
+	return a.Valid == b.Valid && a.T == b.T && a.Slope == b.Slope &&
+		a.FromNode == b.FromNode && a.FromTr == b.FromTr
+}
+
+// TestConcurrentSharedDB runs several analyzers at once over one network,
+// all sharing one stage database, and checks every arrival is bit-identical
+// to a strict-serial baseline. Run under -race this exercises the database's
+// once-per-entry construction: the "cold" case starts from an empty DB so
+// the concurrent analyzers race to build each entry.
+func TestConcurrentSharedDB(t *testing.T) {
+	p := tech.NMOS4()
+	const width = 4
+	nw, err := gen.Chip(p, width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, lb := gen.ChipDirectives(width)
+	m := delay.NewSlope(delay.AnalyticTables(p))
+
+	newAnalyzer := func(db *stage.DB) *Analyzer {
+		opts := Options{DB: db, Workers: 1}
+		for _, name := range lb {
+			n := nw.Lookup(name)
+			if n == nil {
+				t.Fatalf("directive node %s missing", name)
+			}
+			opts.LoopBreak = append(opts.LoopBreak, n)
+		}
+		a := New(nw, m, opts)
+		for name, v := range fixed {
+			a.SetFixed(nw.Lookup(name), switchsim.FromBool(v == "1"))
+		}
+		for _, in := range nw.Inputs() {
+			if _, ok := fixed[in.Name]; ok {
+				continue
+			}
+			a.SetInputEvent(in, tech.Rise, 0, 0)
+			a.SetInputEvent(in, tech.Fall, 0, 0)
+		}
+		return a
+	}
+
+	// Strict-serial baseline with a private database.
+	base := newAnalyzer(nil)
+	if err := base.Run(); err != nil {
+		t.Fatal(err)
+	}
+	warm := base.StageDB()
+	if warm == nil {
+		t.Fatal("no stage database after run")
+	}
+
+	// A cold database with the matching stamp: nothing built yet, so the
+	// concurrent runs below contend on every entry's sync.Once.
+	cold := stage.NewDB(nw, stage.Options{Oracle: base.oracle()})
+	cold.Stamp = warm.Stamp
+
+	for _, tc := range []struct {
+		name string
+		db   *stage.DB
+	}{{"warm", warm}, {"cold", cold}} {
+		const runs = 4
+		as := make([]*Analyzer, runs)
+		errs := make([]error, runs)
+		var wg sync.WaitGroup
+		for i := range as {
+			as[i] = newAnalyzer(tc.db)
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = as[i].Run()
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("%s run %d: %v", tc.name, i, err)
+			}
+		}
+		for i, a := range as {
+			if a.StageDB() != tc.db {
+				t.Errorf("%s run %d rejected the shared database", tc.name, i)
+			}
+			for _, n := range nw.Nodes {
+				for _, tr := range []tech.Transition{tech.Rise, tech.Fall} {
+					want, got := base.Arrival(n, tr), a.Arrival(n, tr)
+					if !sameEvent(want, got) {
+						t.Fatalf("%s run %d: arrival %s/%s = %+v, want %+v",
+							tc.name, i, n.Name, tr, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSharedDBStampMismatch checks the safety valve: an analyzer handed a
+// database built under a different sensitization must fall back to a
+// private one rather than reuse wrong enumerations.
+func TestSharedDBStampMismatch(t *testing.T) {
+	p := tech.NMOS4()
+	nw, err := gen.Chip(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, lb := gen.ChipDirectives(4)
+	m := delay.NewSlope(delay.AnalyticTables(p))
+	var opts Options
+	for _, name := range lb {
+		opts.LoopBreak = append(opts.LoopBreak, nw.Lookup(name))
+	}
+
+	stale := stage.NewDB(nw, stage.Options{})
+	stale.Stamp = "not-the-real-stamp"
+	opts.DB = stale
+	opts.Workers = 1
+	a := New(nw, m, opts)
+	for _, in := range nw.Inputs() {
+		a.SetInputEvent(in, tech.Rise, 0, 0)
+		a.SetInputEvent(in, tech.Fall, 0, 0)
+	}
+	if err := a.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a.StageDB() == stale {
+		t.Error("analyzer accepted a database with a mismatched stamp")
+	}
+}

@@ -102,19 +102,28 @@ func (ca *ClockedAnalysis) Run() ([]PhaseResult, error) {
 	}
 	tracker.Settle()
 
-	var out []PhaseResult
+	// Pass 1 (serial): walk the schedule with the functional tracker. The
+	// latched state is inherently sequential — each phase's snapshot
+	// depends on the previous settle — but capturing it is cheap. What
+	// falls out per phase is a self-contained setup: the state snapshot,
+	// the clocks held fixed, and the clocks that fire.
+	type clockFix struct {
+		n *netlist.Node
+		v switchsim.Value
+	}
+	type phaseSetup struct {
+		ph       Phase
+		snapshot []switchsim.Value
+		fixes    []clockFix
+		rising   []*netlist.Node
+	}
+	setups := make([]phaseSetup, 0, len(ca.Phases))
 	prev := last
 	for _, ph := range ca.Phases {
 		if ph.Duration <= 0 {
 			return nil, fmt.Errorf("core: phase %s needs a positive duration", ph.Name)
 		}
-		a := New(nw, ca.Model, ca.Opts)
-		for name, v := range ca.Fixed {
-			a.SetFixed(nw.Lookup(name), v)
-		}
-		// Carry the settled state into the analyzer's sensitization.
-		snapshot := tracker.Snapshot()
-		a.initial = snapshot
+		su := phaseSetup{ph: ph, snapshot: tracker.Snapshot()}
 		// Clock handling: a clock rising at the boundary is the phase's
 		// evaluation trigger and gets a Rise event; every other clock —
 		// unchanged or falling — is held at its phase level, so pass
@@ -129,34 +138,15 @@ func (ca *ClockedAnalysis) Run() ([]PhaseResult, error) {
 				before = now // not scheduled last phase: assume held
 			}
 			if now == before || now == 0 {
-				a.SetFixed(n, switchsim.FromBool(now == 1))
+				su.fixes = append(su.fixes, clockFix{n, switchsim.FromBool(now == 1)})
 				continue
 			}
 			if n.Kind != netlist.KindInput {
 				return nil, fmt.Errorf("core: clock %s must be marked as an input", n.Name)
 			}
-			if err := a.SetInputEvent(n, tech.Rise, 0, ph.Slope); err != nil {
-				return nil, err
-			}
+			su.rising = append(su.rising, n)
 		}
-		if err := a.Run(); err != nil {
-			return nil, fmt.Errorf("phase %s: %w", ph.Name, err)
-		}
-		worst, path := a.WorstArrival()
-		res := PhaseResult{Phase: ph, Analyzer: a, Worst: worst, WorstPath: path}
-		// Violations count every node that fails to settle within the
-		// phase: internal latch inputs matter as much as chip outputs.
-		for _, n := range nw.Nodes {
-			if n.IsRail() || n.Kind == netlist.KindInput {
-				continue
-			}
-			for _, tr := range []tech.Transition{tech.Rise, tech.Fall} {
-				if ev := a.Arrival(n, tr); ev.Valid && ev.T > ph.Duration {
-					res.Violations++
-				}
-			}
-		}
-		out = append(out, res)
+		setups = append(setups, su)
 
 		// Advance the functional state: apply the new clock levels and
 		// settle for the next boundary.
@@ -172,6 +162,55 @@ func (ca *ClockedAnalysis) Run() ([]PhaseResult, error) {
 		}
 		tracker.Settle()
 		prev = ph
+	}
+
+	// Pass 2 (parallel): with the setups captured, the per-phase timing
+	// analyses are independent and fan out over the pool. Each phase has
+	// its own sensitization (different clock levels), so no stage database
+	// is shared between them; the inner analyzers run strictly serial.
+	inner := ca.Opts
+	if Workers(ca.Opts.Workers, len(setups)) > 1 {
+		inner.Workers = 1
+	}
+	out := make([]PhaseResult, len(setups))
+	err := RunMany(len(setups), ca.Opts.Workers, func(i int) error {
+		su := setups[i]
+		a := New(nw, ca.Model, inner)
+		for name, v := range ca.Fixed {
+			a.SetFixed(nw.Lookup(name), v)
+		}
+		// Carry the settled state into the analyzer's sensitization.
+		a.initial = su.snapshot
+		for _, f := range su.fixes {
+			a.SetFixed(f.n, f.v)
+		}
+		for _, n := range su.rising {
+			if err := a.SetInputEvent(n, tech.Rise, 0, su.ph.Slope); err != nil {
+				return err
+			}
+		}
+		if err := a.Run(); err != nil {
+			return fmt.Errorf("phase %s: %w", su.ph.Name, err)
+		}
+		worst, path := a.WorstArrival()
+		res := PhaseResult{Phase: su.ph, Analyzer: a, Worst: worst, WorstPath: path}
+		// Violations count every node that fails to settle within the
+		// phase: internal latch inputs matter as much as chip outputs.
+		for _, n := range nw.Nodes {
+			if n.IsRail() || n.Kind == netlist.KindInput {
+				continue
+			}
+			for _, tr := range []tech.Transition{tech.Rise, tech.Fall} {
+				if ev := a.Arrival(n, tr); ev.Valid && ev.T > su.ph.Duration {
+					res.Violations++
+				}
+			}
+		}
+		out[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

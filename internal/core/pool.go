@@ -1,0 +1,80 @@
+// The worker pool: fan-out for independent analyses. One timing run is
+// inherently sequential (a priority event loop), but a verification
+// session rarely performs just one — accuracy sweeps run every circuit
+// under every model, critical-path comparisons run every block per model,
+// clocked analyses run one verifier per phase. RunMany spreads such
+// independent units over the machine's cores; each unit remains the
+// serial, deterministic analysis, so results are bit-identical to a
+// single-worker run.
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count option: n itself when positive,
+// otherwise GOMAXPROCS (the "use the hardware" default). Capped at limit
+// when limit is positive (no point spinning up more workers than jobs).
+func Workers(n, limit int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if limit > 0 && n > limit {
+		n = limit
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// RunMany executes fn(0..n-1) over min(workers, n) goroutines (workers <= 0
+// selects GOMAXPROCS) and returns the error from the lowest-indexed job
+// that failed, if any. Jobs are handed out in index order. With workers == 1
+// (or n <= 1) everything runs inline on the calling goroutine — the strict
+// serial mode. Jobs must be independent; fn writing only to its own index
+// of a pre-sized results slice needs no locking.
+func RunMany(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers, n)
+	if workers == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		firstIdx int
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil || i < firstIdx {
+						firstErr, firstIdx = err, i
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(3, 0); got != 3 {
+		t.Errorf("Workers(3,0) = %d", got)
+	}
+	if got := Workers(8, 2); got != 2 {
+		t.Errorf("Workers(8,2) = %d, want cap at 2", got)
+	}
+	if got := Workers(0, 0); got < 1 {
+		t.Errorf("Workers(0,0) = %d, want >= 1", got)
+	}
+}
+
+func TestRunManyCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 0} {
+		const n = 100
+		var hits [n]atomic.Int32
+		err := RunMany(n, workers, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if c := hits[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d run %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestRunManyReturnsLowestError(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	for _, workers := range []int{1, 4} {
+		err := RunMany(10, workers, func(i int) error {
+			switch i {
+			case 3:
+				return errLow
+			case 7:
+				return errHigh
+			}
+			return nil
+		})
+		// Serial mode stops at the first failure; parallel mode reports
+		// the lowest-indexed one. Both land on index 3.
+		if err != errLow {
+			t.Errorf("workers=%d: err = %v, want %v", workers, err, errLow)
+		}
+	}
+}
+
+func TestRunManyEmpty(t *testing.T) {
+	if err := RunMany(0, 4, func(int) error { t.Error("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -5,6 +5,7 @@ package delay
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/netlist"
 	"repro/internal/rctree"
@@ -85,7 +86,7 @@ func (m *RC) Name() string { return "rc" }
 
 // Evaluate implements Model.
 func (m *RC) Evaluate(nw *netlist.Network, st *stage.Stage, _ float64) Result {
-	d := m.elmore(nw, st, nil)
+	d := m.elmoreAt(nw, st, -1, 1)
 	tf := math.Log(9)
 	if drv := driverElement(st); drv >= 0 {
 		tf = m.T.Curve(st.Path[drv].Trans.Type, st.Transition).TFactorAt(0)
@@ -135,11 +136,106 @@ func (m *RC) elmore(nw *netlist.Network, st *stage.Stage, rscale []float64) floa
 	return sum
 }
 
+// elmoreAt is the allocation-free form of elmore used on the analysis hot
+// path: at most one path element (index at; -1 for none) has its
+// resistance scaled by mult, and the side loads — sorted by attach
+// position at stage construction — are merged into the single backwards
+// walk instead of being scattered into a scratch array. Falls back to
+// elmore for hand-assembled stages whose side loads are unsorted.
+func (m *RC) elmoreAt(nw *netlist.Network, st *stage.Stage, at int, mult float64) float64 {
+	n := len(st.Path)
+	if n == 0 {
+		return 0
+	}
+	if !st.SideSorted() && len(st.Side) > 0 {
+		var rscale []float64
+		if at >= 0 {
+			rscale = make([]float64, n)
+			for i := range rscale {
+				rscale[i] = 1
+			}
+			rscale[at] = mult
+		}
+		return m.elmore(nw, st, rscale)
+	}
+	sum, acc := 0.0, 0.0
+	si := len(st.Side) - 1
+	for i := n; i >= 1; i-- {
+		if st.PathCap != nil {
+			acc += st.PathCap[i-1]
+		} else {
+			acc += nw.NodeCap(st.Path[i-1].To)
+		}
+		// Side loads attached at or beyond this position are downstream
+		// of element i and charge through it. Attach 0 hangs at the
+		// ideal source and never enters (the loop stops at i=1).
+		for si >= 0 && st.Side[si].Attach >= i {
+			acc += st.Side[si].C
+			si--
+		}
+		e := st.Path[i-1]
+		r := elemR(m.T, e.Trans, st.Transition)
+		if i-1 == at {
+			r *= mult
+		}
+		sum += r * acc
+	}
+	return sum
+}
+
+// elmoreSplit is elmoreAt(at=-1) with instrumentation for the slope
+// model's two-pass evaluation. The backwards walk visits path positions
+// n-1 … 0; relative to position at it returns the running sum of the
+// terms visited before it (high), the unscaled resistance and downstream
+// capacitance at it, and records the terms visited after it in
+// low[0:at]. Folding high + (rAt·mult)·accAt + low[at-1 …0] repeats the
+// adds of elmoreAt(at, mult) in the identical order, so the replayed
+// result is bit-exact without a second walk. Requires sorted side loads
+// (st.SideSorted() or no side loads).
+func (m *RC) elmoreSplit(nw *netlist.Network, st *stage.Stage, at int, low []float64) (tau, high, rAt, accAt float64) {
+	n := len(st.Path)
+	acc := 0.0
+	si := len(st.Side) - 1
+	for i := n; i >= 1; i-- {
+		if st.PathCap != nil {
+			acc += st.PathCap[i-1]
+		} else {
+			acc += nw.NodeCap(st.Path[i-1].To)
+		}
+		for si >= 0 && st.Side[si].Attach >= i {
+			acc += st.Side[si].C
+			si--
+		}
+		e := st.Path[i-1]
+		r := elemR(m.T, e.Trans, st.Transition)
+		p := r * acc
+		switch {
+		case i-1 > at:
+			high += p
+		case i-1 == at:
+			rAt, accAt = r, acc
+		default:
+			low[i-1] = p
+		}
+		tau += p
+	}
+	return tau, high, rAt, accAt
+}
+
+// treePool recycles RC-tree scratch buffers across Bounds evaluations so
+// a bounds sweep does not allocate a fresh tree per stage.
+var treePool = sync.Pool{New: func() any { return rctree.New(0, "") }}
+
 // stageTree builds the stage's RC tree using table resistances (not the
 // raw technology numbers), so characterized tables flow through every
 // model identically.
 func stageTree(tb *Tables, nw *netlist.Network, st *stage.Stage, rscale []float64) (*rctree.Tree, []int) {
-	t := rctree.New(0, st.Source.Name)
+	return stageTreeInto(rctree.New(0, st.Source.Name), tb, nw, st, rscale)
+}
+
+// stageTreeInto is stageTree over a caller-supplied (possibly recycled)
+// tree, which must already be reset to a bare root.
+func stageTreeInto(t *rctree.Tree, tb *Tables, nw *netlist.Network, st *stage.Stage, rscale []float64) (*rctree.Tree, []int) {
 	idx := make([]int, len(st.Path)+1)
 	for i, e := range st.Path {
 		r := elemR(tb, e.Trans, st.Transition)
@@ -163,6 +259,9 @@ func stageTree(tb *Tables, nw *netlist.Network, st *stage.Stage, rscale []float6
 // adjacent to the source (the driver — e.g. the depletion pullup of a
 // release stage).
 func driverElement(st *stage.Stage) int {
+	if i, ok := st.Driver(); ok {
+		return i
+	}
 	if st.Trigger != nil {
 		for i, e := range st.Path {
 			if e.Trans == st.Trigger {
@@ -198,11 +297,22 @@ func NewSlope(t *Tables) *Slope { return &Slope{T: t} }
 // Name implements Model.
 func (m *Slope) Name() string { return "slope" }
 
-// Evaluate implements Model.
+// Evaluate implements Model. The hot path walks the stage once: the
+// intrinsic Elmore pass records its per-element terms, and the scaled
+// delay (driver resistance × slope multiplier) is replayed from them.
 func (m *Slope) Evaluate(nw *netlist.Network, st *stage.Stage, inSlope float64) Result {
 	rcModel := RC{T: m.T}
-	tauStep := rcModel.elmore(nw, st, nil)
 	drv := driverElement(st)
+	// The driver is usually at or near the source, so only a handful of
+	// terms below it ever need buffering for the bit-exact replay.
+	var buf [16]float64
+	fused := drv >= 0 && drv <= len(buf) && (st.SideSorted() || len(st.Side) == 0)
+	var tauStep, high, rDrv, accDrv float64
+	if fused {
+		tauStep, high, rDrv, accDrv = rcModel.elmoreSplit(nw, st, drv, buf[:])
+	} else {
+		tauStep = rcModel.elmoreAt(nw, st, -1, 1)
+	}
 	if drv < 0 || tauStep <= 0 {
 		return Result{Delay: tauStep, Slope: math.Log(9) * tauStep}
 	}
@@ -213,12 +323,15 @@ func (m *Slope) Evaluate(nw *netlist.Network, st *stage.Stage, inSlope float64) 
 		ratio = inSlope / tauStep
 	}
 	mult := curve.MultAt(ratio)
-	rscale := make([]float64, len(st.Path))
-	for i := range rscale {
-		rscale[i] = 1
+	var d float64
+	if fused {
+		d = high + (rDrv*mult)*accDrv
+		for j := drv - 1; j >= 0; j-- {
+			d += buf[j]
+		}
+	} else {
+		d = rcModel.elmoreAt(nw, st, drv, mult)
 	}
-	rscale[drv] = mult
-	d := rcModel.elmore(nw, st, rscale)
 	out := curve.TFactorAt(ratio) * tauStep
 	return Result{Delay: d, Slope: out}
 }
@@ -246,7 +359,10 @@ func (m *Bounded) Bounds(nw *netlist.Network, st *stage.Stage) (lo, hi float64, 
 	if v <= 0 || v >= 1 {
 		v = 0.5
 	}
-	t, idx := stageTree(m.T, nw, st, nil)
+	t := treePool.Get().(*rctree.Tree)
+	defer treePool.Put(t)
+	t.Reset(0, st.Source.Name)
+	t, idx := stageTreeInto(t, m.T, nw, st, nil)
 	if err := t.Validate(); err != nil {
 		return 0, 0, fmt.Errorf("stage tree: %w", err)
 	}

@@ -7,8 +7,10 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/delay"
 	"repro/internal/gen"
+	"repro/internal/stage"
 	"repro/internal/tech"
 )
 
@@ -56,22 +58,33 @@ func (r *AccuracyRow) ModelNames() []string {
 }
 
 // runScenarios evaluates scenarios under every model and the reference.
+// Scenarios are independent, so they fan out over the worker pool (the
+// analog transient is by far the dominant cost per row); within one
+// scenario the models run in order, sharing one stage database — the
+// enumeration from the first model's run serves the others.
 func runScenarios(scs []*Scenario, models []delay.Model) ([]AccuracyRow, error) {
-	rows := make([]AccuracyRow, 0, len(scs))
-	for _, sc := range scs {
+	rows := make([]AccuracyRow, len(scs))
+	err := core.RunMany(len(scs), Workers, func(i int) error {
+		sc := scs[i]
 		ref, _, err := sc.AnalogDelay()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row := AccuracyRow{Scenario: sc.Name, Analog: ref, Model: map[string]float64{}}
+		row := AccuracyRow{Scenario: sc.Name, X: sc.X, Analog: ref, Model: map[string]float64{}}
+		var db *stage.DB
 		for _, m := range models {
-			d, _, err := sc.ModelDelay(m)
+			d, _, dbOut, err := sc.modelDelay(m, db)
 			if err != nil {
-				return nil, err
+				return err
 			}
+			db = dbOut
 			row.Model[m.Name()] = d
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -88,25 +101,22 @@ func E2ModelAccuracy(p *tech.Params, tb *delay.Tables) ([]AccuracyRow, error) {
 
 // E3PassChains sweeps pass-transistor chain length (Table E3): the
 // experiment that motivates the distributed model — lumped grows ~n²,
-// distributed ~n²/2, and the reference agrees with the latter.
+// distributed ~n²/2, and the reference agrees with the latter. Sweep
+// points are built up front so the rows fan out over the worker pool.
 func E3PassChains(p *tech.Params, tb *delay.Tables, lengths []int) ([]AccuracyRow, error) {
 	if len(lengths) == 0 {
 		lengths = []int{1, 2, 3, 4, 5, 6, 7, 8}
 	}
-	var rows []AccuracyRow
+	scs := make([]*Scenario, 0, len(lengths))
 	for _, n := range lengths {
 		sc, err := passScenario(p, n)
 		if err != nil {
 			return nil, err
 		}
-		rs, err := runScenarios([]*Scenario{sc}, delay.All(tb))
-		if err != nil {
-			return nil, err
-		}
-		rs[0].X = float64(n)
-		rows = append(rows, rs[0])
+		sc.X = float64(n)
+		scs = append(scs, sc)
 	}
-	return rows, nil
+	return runScenarios(scs, delay.All(tb))
 }
 
 // E4Fanout sweeps capacitive fan-out on a single inverter (Figure E4):
@@ -115,20 +125,16 @@ func E4Fanout(p *tech.Params, tb *delay.Tables, fanouts []int) ([]AccuracyRow, e
 	if len(fanouts) == 0 {
 		fanouts = []int{1, 2, 4, 8, 16}
 	}
-	var rows []AccuracyRow
+	scs := make([]*Scenario, 0, len(fanouts))
 	for _, f := range fanouts {
 		sc, err := invScenario(p, f, 0, fmt.Sprintf("fanout-%d", f))
 		if err != nil {
 			return nil, err
 		}
-		rs, err := runScenarios([]*Scenario{sc}, delay.All(tb))
-		if err != nil {
-			return nil, err
-		}
-		rs[0].X = float64(f)
-		rows = append(rows, rs[0])
+		sc.X = float64(f)
+		scs = append(scs, sc)
 	}
-	return rows, nil
+	return runScenarios(scs, delay.All(tb))
 }
 
 // E5InputSlope sweeps the input transition time into a fixed inverter
@@ -138,20 +144,16 @@ func E5InputSlope(p *tech.Params, tb *delay.Tables, slopes []float64) ([]Accurac
 	if len(slopes) == 0 {
 		slopes = []float64{0.1e-9, 1e-9, 4e-9, 10e-9, 20e-9, 40e-9}
 	}
-	var rows []AccuracyRow
+	scs := make([]*Scenario, 0, len(slopes))
 	for _, s := range slopes {
 		sc, err := invScenario(p, 2, s, fmt.Sprintf("slope-%.3gns", s*1e9))
 		if err != nil {
 			return nil, err
 		}
-		rs, err := runScenarios([]*Scenario{sc}, delay.All(tb))
-		if err != nil {
-			return nil, err
-		}
-		rs[0].X = s
-		rows = append(rows, rs[0])
+		sc.X = s
+		scs = append(scs, sc)
 	}
-	return rows, nil
+	return runScenarios(scs, delay.All(tb))
 }
 
 // E9PolyWire sweeps the length of a resistive interconnect wire (the
@@ -162,28 +164,23 @@ func E9PolyWire(p *tech.Params, tb *delay.Tables, lengths []int) ([]AccuracyRow,
 	if len(lengths) == 0 {
 		lengths = []int{1, 2, 3, 4, 5}
 	}
-	var rows []AccuracyRow
+	scs := make([]*Scenario, 0, len(lengths))
 	for _, L := range lengths {
 		nw, err := gen.PolyWire(p, 10, 20e3*float64(L), 200e-15*float64(L))
 		if err != nil {
 			return nil, err
 		}
-		sc := &Scenario{
+		scs = append(scs, &Scenario{
 			Name:  fmt.Sprintf("wire-%dx", L),
 			Net:   nw,
 			Input: "in", InTr: tech.Rise,
 			Output: "wend", OutTr: tech.Fall,
 			// Long RC wires take several hundred ns to precharge.
 			Settle: 600e-9,
-		}
-		rs, err := runScenarios([]*Scenario{sc}, delay.All(tb))
-		if err != nil {
-			return nil, err
-		}
-		rs[0].X = float64(L)
-		rows = append(rows, rs[0])
+			X:      float64(L),
+		})
 	}
-	return rows, nil
+	return runScenarios(scs, delay.All(tb))
 }
 
 // FormatAccuracy renders accuracy rows as an aligned text table with

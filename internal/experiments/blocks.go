@@ -11,6 +11,7 @@ import (
 	"repro/internal/delay"
 	"repro/internal/gen"
 	"repro/internal/netlist"
+	"repro/internal/stage"
 	"repro/internal/switchsim"
 	"repro/internal/tech"
 )
@@ -104,9 +105,11 @@ type ThroughputRow struct {
 }
 
 // analyzeBlock runs the verifier over a block with every non-fixed input
-// toggling.
-func analyzeBlock(b Block, m delay.Model) (*core.Analyzer, time.Duration, error) {
-	var opts core.Options
+// toggling. db optionally seeds the stage database from a previous run of
+// the same block (a different model, same sensitization); the analyzer's
+// database is reachable from the returned analyzer for further chaining.
+func analyzeBlock(b Block, m delay.Model, db *stage.DB) (*core.Analyzer, time.Duration, error) {
+	opts := core.Options{DB: db, Workers: 1}
 	for _, name := range b.LoopBreak {
 		n := b.Net.Lookup(name)
 		if n == nil {
@@ -158,12 +161,16 @@ func E6Throughput(p *tech.Params, tb *delay.Tables, model string) ([]ThroughputR
 	if err != nil {
 		return nil, err
 	}
-	var rows []ThroughputRow
-	for _, b := range blocks {
+	// Blocks are independent analyses: fan out over the pool. Per-block
+	// wall times are still measured per analysis (under contention they
+	// include scheduling noise; total throughput is the headline metric).
+	rows := make([]ThroughputRow, len(blocks))
+	err = core.RunMany(len(blocks), Workers, func(i int) error {
+		b := blocks[i]
 		st := b.Net.Stats()
-		a, wall, err := analyzeBlock(b, m)
+		a, wall, err := analyzeBlock(b, m, nil)
 		if err != nil {
-			return nil, fmt.Errorf("block %s: %w", b.Name, err)
+			return fmt.Errorf("block %s: %w", b.Name, err)
 		}
 		ev, _ := a.MaxArrival()
 		r := ThroughputRow{
@@ -177,7 +184,11 @@ func E6Throughput(p *tech.Params, tb *delay.Tables, model string) ([]ThroughputR
 		if wall > 0 {
 			r.TransPerSc = float64(st.Trans) / wall.Seconds()
 		}
-		rows = append(rows, r)
+		rows[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -215,29 +226,42 @@ func E7CriticalPaths(p *tech.Params, tb *delay.Tables) ([]CriticalRow, error) {
 		"alu-8": true, "barrel-8": true, "decoder-5": true,
 		"manchester-8": true, "ripple-16": true,
 	}
-	var rows []CriticalRow
+	var picked []Block
 	for _, b := range blocks {
-		if !want[b.Name] {
-			continue
+		if want[b.Name] {
+			picked = append(picked, b)
 		}
+	}
+	// Fan out over blocks; within a block the three models run in order,
+	// chaining one stage database — the sensitization is model-independent,
+	// so the enumeration from the first run serves all three.
+	rows := make([]CriticalRow, len(picked))
+	err = core.RunMany(len(picked), Workers, func(i int) error {
+		b := picked[i]
 		row := CriticalRow{
 			Block:    b.Name,
 			Trans:    b.Net.Stats().Trans,
 			Arrival:  map[string]float64{},
 			Endpoint: map[string]string{},
 		}
+		var db *stage.DB
 		for _, m := range delay.All(tb) {
-			a, _, err := analyzeBlock(b, m)
+			a, _, err := analyzeBlock(b, m, db)
 			if err != nil {
-				return nil, fmt.Errorf("block %s model %s: %w", b.Name, m.Name(), err)
+				return fmt.Errorf("block %s model %s: %w", b.Name, m.Name(), err)
 			}
+			db = a.StageDB()
 			ev, path := a.MaxArrival()
 			row.Arrival[m.Name()] = ev.T
 			if path != nil {
 				row.Endpoint[m.Name()] = path.End().Node.Name
 			}
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -18,9 +18,17 @@ import (
 	"repro/internal/core"
 	"repro/internal/delay"
 	"repro/internal/netlist"
+	"repro/internal/stage"
 	"repro/internal/switchsim"
 	"repro/internal/tech"
 )
+
+// Workers bounds the fan-out of experiment drivers: independent rows
+// (scenarios, blocks, sweep points) are spread over this many goroutines
+// via core.RunMany. Zero selects GOMAXPROCS; one forces the strict serial
+// order. Row results are identical at every setting — only wall time
+// changes. cmd/delaycmp exposes this as -workers.
+var Workers int
 
 // Scenario is one timed measurement on one circuit.
 type Scenario struct {
@@ -41,6 +49,10 @@ type Scenario struct {
 	// Settle overrides the pre-event relaxation time of the analog run
 	// (0 selects the 80 ns default); slow RC structures need more.
 	Settle float64
+	// X is the sweep coordinate the scenario samples (chain length,
+	// fanout, slope…), copied into the resulting AccuracyRow; 0 for
+	// non-sweep scenarios.
+	X float64
 }
 
 // minRamp is the "near-step" input ramp used when InSlope is zero: the
@@ -132,11 +144,22 @@ func stageScale(nw *netlist.Network) float64 {
 // model and returns the arrival time at the output (relative to the input
 // event) and the propagated output slope.
 func (s *Scenario) ModelDelay(m delay.Model) (delay50, outSlope float64, err error) {
-	a := core.New(s.Net, m, core.Options{})
+	delay50, outSlope, _, err = s.modelDelay(m, nil)
+	return delay50, outSlope, err
+}
+
+// modelDelay is ModelDelay with stage-database chaining: db (from a prior
+// model's run over this same scenario) seeds the analyzer's stage cache,
+// and the analyzer's database is returned for the next model. Stage
+// enumeration depends only on the sensitization — not the delay model —
+// so all models of one scenario share one database. Workers is pinned to
+// 1: scenario evaluation is already fanned out at the row level.
+func (s *Scenario) modelDelay(m delay.Model, db *stage.DB) (delay50, outSlope float64, dbOut *stage.DB, err error) {
+	a := core.New(s.Net, m, core.Options{DB: db, Workers: 1})
 	for name, v := range s.Fixed {
 		n := s.Net.Lookup(name)
 		if n == nil {
-			return 0, 0, fmt.Errorf("experiments %s: no fixed node %q", s.Name, name)
+			return 0, 0, nil, fmt.Errorf("experiments %s: no fixed node %q", s.Name, name)
 		}
 		a.SetFixed(n, v)
 	}
@@ -145,16 +168,16 @@ func (s *Scenario) ModelDelay(m delay.Model) (delay50, outSlope float64, err err
 		slope = minRamp
 	}
 	if err := a.SetInputEventName(s.Input, s.InTr, 0, slope); err != nil {
-		return 0, 0, fmt.Errorf("experiments %s: %w", s.Name, err)
+		return 0, 0, nil, fmt.Errorf("experiments %s: %w", s.Name, err)
 	}
 	if err := a.Run(); err != nil {
-		return 0, 0, fmt.Errorf("experiments %s: %w", s.Name, err)
+		return 0, 0, nil, fmt.Errorf("experiments %s: %w", s.Name, err)
 	}
 	out := s.Net.Lookup(s.Output)
 	ev := a.Arrival(out, s.OutTr)
 	if !ev.Valid {
-		return 0, 0, fmt.Errorf("experiments %s: no %s arrival at %s under model %s",
+		return 0, 0, nil, fmt.Errorf("experiments %s: no %s arrival at %s under model %s",
 			s.Name, s.OutTr, s.Output, m.Name())
 	}
-	return ev.T, ev.Slope, nil
+	return ev.T, ev.Slope, a.StageDB(), nil
 }

@@ -48,6 +48,19 @@ func New(c0 float64, name string) *Tree {
 	}
 }
 
+// Reset reinitializes the tree in place to a root-only tree with
+// capacitance c0, retaining the backing arrays so a caller evaluating many
+// trees of similar size (delay-model stages, randomized-tree sweeps) can
+// reuse one Tree as a scratch buffer instead of allocating per evaluation.
+func (t *Tree) Reset(c0 float64, name string) {
+	t.parent = append(t.parent[:0], -1)
+	t.r = append(t.r[:0], 0)
+	t.c = append(t.c[:0], c0)
+	t.name = append(t.name[:0], name)
+	t.order = t.order[:0]
+	t.dirty = true
+}
+
 // Add appends a node connected to parent through resistance r, carrying
 // capacitance c, and returns its index. It panics on an invalid parent —
 // tree construction errors are programming errors, not data errors.

@@ -1,0 +1,232 @@
+// The stage database: a precomputed, shareable index of every stage the
+// analyzer can ask for over one (network, sensitization) pair. Stage
+// enumeration is static during an analysis — a trigger's stages never
+// change — so the enumeration results are memoized here, slice-indexed by
+// (element index, transition) instead of hashed, and built at most once
+// per key under a sync.Once so any number of concurrent analyses can
+// share one database without rebuilding or locking on the hot path.
+package stage
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+// DB is the shared stage database for one network under one sensitization
+// oracle. Entries are built lazily on first access and are immutable
+// afterwards; every accessor is safe for concurrent use. A DB built by one
+// analysis run can be handed to later runs over the same network with the
+// same static sensitization (core checks the Stamp before accepting one).
+type DB struct {
+	nw  *netlist.Network
+	opt Options
+
+	// Stamp identifies the sensitization state the database was built
+	// under (the caller encodes static node values and enumeration
+	// bounds). Consumers must not share a DB across different stamps.
+	Stamp string
+
+	through []dbEntry   // (trans, transition) → stages through the device
+	release []dbEntry   // (node, transition) → stages driving the node
+	from    []dbEntry   // (node, transition) → stages fanning out of the node
+	groups  []groupEntry // trans → channel-connected group
+
+	truncated atomic.Bool
+}
+
+// dbEntry is one memoized enumeration result.
+type dbEntry struct {
+	once   sync.Once
+	stages []*Stage
+	trunc  bool
+}
+
+// groupEntry is one memoized channel group.
+type groupEntry struct {
+	once  sync.Once
+	nodes []*netlist.Node
+}
+
+// NewDB creates an empty database for the network. opt.Oracle fixes the
+// sensitization for every enumeration the database will ever perform.
+func NewDB(nw *netlist.Network, opt Options) *DB {
+	return &DB{
+		nw:      nw,
+		opt:     opt.fill(),
+		through: make([]dbEntry, 2*len(nw.Trans)),
+		release: make([]dbEntry, 2*len(nw.Nodes)),
+		from:    make([]dbEntry, 2*len(nw.Nodes)),
+		groups:  make([]groupEntry, len(nw.Trans)),
+	}
+}
+
+// Network returns the network the database indexes.
+func (db *DB) Network() *netlist.Network { return db.nw }
+
+// Truncated reports whether any enumeration performed so far hit the
+// MaxPaths/MaxDepth caps. With a shared database this is cumulative over
+// every analysis that touched it.
+func (db *DB) Truncated() bool { return db.truncated.Load() }
+
+// Through returns the stages created when transistor t becomes conducting,
+// targeting transition tr, plus whether that enumeration was truncated.
+func (db *DB) Through(t *netlist.Trans, tr tech.Transition) ([]*Stage, bool) {
+	e := &db.through[2*t.Index+int(tr)]
+	e.once.Do(func() {
+		res := Through(db.nw, t, tr, db.opt)
+		e.stages, e.trunc = res.Stages, res.Truncated
+		if res.Truncated {
+			db.truncated.Store(true)
+		}
+	})
+	return e.stages, e.trunc
+}
+
+// Release returns the stages that could drive node n with transition tr
+// (the paths a released node may move along), plus truncation.
+func (db *DB) Release(n *netlist.Node, tr tech.Transition) ([]*Stage, bool) {
+	e := &db.release[2*n.Index+int(tr)]
+	e.once.Do(func() {
+		res := ToNode(db.nw, n, tr, db.opt)
+		e.stages, e.trunc = res.Stages, res.Truncated
+		if res.Truncated {
+			db.truncated.Store(true)
+		}
+	})
+	return e.stages, e.trunc
+}
+
+// From returns the stages created when node n itself transitions (an input
+// event riding through conducting pass devices), plus truncation.
+func (db *DB) From(n *netlist.Node, tr tech.Transition) ([]*Stage, bool) {
+	e := &db.from[2*n.Index+int(tr)]
+	e.once.Do(func() {
+		res := FromNode(db.nw, n, tr, db.opt)
+		e.stages, e.trunc = res.Stages, res.Truncated
+		if res.Truncated {
+			db.truncated.Store(true)
+		}
+	})
+	return e.stages, e.trunc
+}
+
+// Group returns the non-source nodes channel-connected to either terminal
+// of t through possibly-conducting transistors (t itself excluded),
+// without expanding through strong sources — the set of nodes a turn-off
+// of t releases.
+func (db *DB) Group(t *netlist.Trans) []*netlist.Node {
+	e := &db.groups[t.Index]
+	e.once.Do(func() {
+		e.nodes = channelGroup(db.nw, t, db.opt.Oracle)
+	})
+	return e.nodes
+}
+
+// seenPool recycles the visited-marks scratch of channelGroup; on a
+// chip-scale network a fresh per-call slice is tens of kilobytes times
+// tens of thousands of groups, all garbage.
+var seenPool sync.Pool
+
+// channelGroup walks the channel graph from t's terminals.
+func channelGroup(nw *netlist.Network, t *netlist.Trans, oracle Oracle) []*netlist.Node {
+	var seen []bool
+	if v := seenPool.Get(); v != nil {
+		seen = v.([]bool)
+	}
+	if len(seen) < len(nw.Nodes) {
+		seen = make([]bool, len(nw.Nodes))
+	}
+	var out []*netlist.Node
+	var q []*netlist.Node
+	defer func() {
+		// The true marks are exactly the group members: clear those and
+		// recycle, far cheaper than zeroing the whole slice.
+		for _, n := range out {
+			seen[n.Index] = false
+		}
+		seenPool.Put(seen)
+	}()
+	for _, m := range []*netlist.Node{t.A, t.B} {
+		if m != nil && !m.IsSource() && !seen[m.Index] {
+			seen[m.Index] = true
+			out = append(out, m)
+			q = append(q, m)
+		}
+	}
+	for len(q) > 0 {
+		n := q[0]
+		q = q[1:]
+		for _, tr := range n.Terms {
+			if tr == t {
+				continue
+			}
+			if oracle(tr) == Off {
+				continue
+			}
+			o := tr.Other(n)
+			if o == nil || seen[o.Index] || o.IsSource() {
+				continue
+			}
+			seen[o.Index] = true
+			out = append(out, o)
+			q = append(q, o)
+		}
+	}
+	return out
+}
+
+// Prewarm eagerly builds every entry an analysis can touch, fanning the
+// enumeration out over the given number of workers (0 selects GOMAXPROCS).
+// The closure matches the analyzer's access pattern: through-stages and
+// channel groups for every gated device, release stages for every group
+// member, and fan-out stages for every input with channel terminals.
+// Prewarming is optional — entries not built here are still built lazily.
+func (db *DB) Prewarm(workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(db.nw.Trans) {
+		workers = len(db.nw.Trans)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(db.nw.Trans) {
+					return
+				}
+				t := db.nw.Trans[i]
+				if t.AlwaysOn() {
+					continue
+				}
+				for _, tr := range []tech.Transition{tech.Rise, tech.Fall} {
+					db.Through(t, tr)
+				}
+				for _, m := range db.Group(t) {
+					for _, tr := range []tech.Transition{tech.Rise, tech.Fall} {
+						db.Release(m, tr)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, n := range db.nw.Inputs() {
+		if len(n.Terms) > 0 {
+			for _, tr := range []tech.Transition{tech.Rise, tech.Fall} {
+				db.From(n, tr)
+			}
+		}
+	}
+}

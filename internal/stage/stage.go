@@ -10,6 +10,7 @@ package stage
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 
 	"repro/internal/netlist"
@@ -79,15 +80,67 @@ type Stage struct {
 	PathCap []float64
 	// Transition is the direction Target moves (Rise when Source is high).
 	Transition tech.Transition
+
+	// pathBloom is a 64-bit bloom of the path transistors' indices; a
+	// clear bit proves a transistor is not on the path, so UsesTrans can
+	// reject without scanning. Zero means "not computed" (hand-built
+	// stages), which falls back to the scan.
+	pathBloom uint64
+	// sideSorted records that Side is ordered by ascending Attach, the
+	// invariant the delay models' allocation-free Elmore merge relies on.
+	sideSorted bool
+	// driver caches the path index of the element whose device governs
+	// the stage's slope behaviour (the trigger if on the path, else the
+	// source-adjacent element); driverSet distinguishes a computed 0 from
+	// a hand-built stage.
+	driver    int
+	driverSet bool
 }
 
 // finish computes the derived loading fields (side loads, path caps).
 func (s *Stage) finish(nw *netlist.Network, opt Options) {
 	s.Side = sideLoads(nw, s, opt)
+	// Sorting the side loads by attach position lets evaluators merge
+	// them into a single backwards path walk with no scratch allocation.
+	sort.Slice(s.Side, func(i, j int) bool { return s.Side[i].Attach < s.Side[j].Attach })
+	s.sideSorted = true
 	s.PathCap = make([]float64, len(s.Path))
 	for i, e := range s.Path {
 		s.PathCap[i] = nw.NodeCap(e.To)
+		s.pathBloom |= 1 << (uint(e.Trans.Index) & 63)
 	}
+	s.driver = 0
+	if s.Trigger != nil {
+		for i, e := range s.Path {
+			if e.Trans == s.Trigger {
+				s.driver = i
+				break
+			}
+		}
+	}
+	s.driverSet = true
+}
+
+// Driver returns the precomputed driver element index and whether it was
+// computed (false for hand-assembled stages, which must derive it).
+func (s *Stage) Driver() (int, bool) { return s.driver, s.driverSet }
+
+// SideSorted reports whether Side is sorted by ascending Attach (true for
+// every enumerated stage; hand-assembled stages may not be).
+func (s *Stage) SideSorted() bool { return s.sideSorted }
+
+// UsesTrans reports whether the stage's path runs through transistor t.
+// The bloom filter rejects most queries without touching the path.
+func (s *Stage) UsesTrans(t *netlist.Trans) bool {
+	if s.pathBloom != 0 && s.pathBloom&(1<<(uint(t.Index)&63)) == 0 {
+		return false
+	}
+	for _, e := range s.Path {
+		if e.Trans == t {
+			return true
+		}
+	}
+	return false
 }
 
 // String renders the stage compactly: "Vdd -(d:out)-> out [rise]".
@@ -187,6 +240,10 @@ type Options struct {
 	// (default 256). Overflow is reported via Truncated.
 	MaxPaths int
 }
+
+// Fill returns the options with defaults applied (the exported form, used
+// by callers that need to know the effective bounds, e.g. for cache keys).
+func (o Options) Fill() Options { return o.fill() }
 
 func (o Options) fill() Options {
 	if o.Oracle == nil {

@@ -1,0 +1,51 @@
+#!/bin/sh
+# Runs the two headline benchmarks (E2 accuracy suite, E6 chip-scale
+# analysis) three times each and writes BENCH_1.json: the fresh runs plus
+# the pinned pre-optimization baseline, so the speedup is always visible
+# in one file. Usage: scripts/bench.sh (from the repo root, or via
+# `make bench`).
+set -e
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_1.json
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench 'BenchmarkE2ModelAccuracy$|BenchmarkE6ChipScale$' \
+    -benchtime 1x -count 3 . | tee "$RAW"
+
+# Baseline ns/op: median of three runs measured at the seed commit (pre
+# stage-database / allocation work) on this repository's 1-CPU reference
+# runner. Update only when re-measuring the seed on comparable hardware.
+awk '
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    runs[name] = runs[name] $3 ","
+}
+END {
+    base["BenchmarkE2ModelAccuracy"] = 97119436
+    base["BenchmarkE6ChipScale"]     = 3390569021
+    printf "{\n  \"benchmarks\": {\n"
+    first = 1
+    for (name in runs) {
+        sub(/,$/, "", runs[name])
+        n = split(runs[name], r, ",")
+        # median of the runs (sorted)
+        for (i = 1; i < n; i++)
+            for (j = i + 1; j <= n; j++)
+                if (r[j] + 0 < r[i] + 0) { t = r[i]; r[i] = r[j]; r[j] = t }
+        med = r[int((n + 1) / 2)]
+        if (!first) printf ",\n"
+        first = 0
+        printf "    \"%s\": {\n", name
+        printf "      \"baseline_ns_op\": %.0f,\n", base[name]
+        printf "      \"runs_ns_op\": [%s],\n", runs[name]
+        printf "      \"median_ns_op\": %s,\n", med
+        printf "      \"speedup_vs_baseline\": %.2f\n", base[name] / med
+        printf "    }"
+    }
+    printf "\n  }\n}\n"
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT"
+cat "$OUT"
