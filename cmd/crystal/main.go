@@ -48,8 +48,13 @@ type config struct {
 	runERC    bool
 	deadline  float64
 	loopbreak string
+	edits     string
+	watch     bool
 	cpuprof   string
 	memprof   string
+
+	// watchIn overrides os.Stdin as the -watch source (tests).
+	watchIn io.Reader
 }
 
 // profileStart begins CPU profiling if cpuprof names a file, returning a
@@ -101,6 +106,8 @@ func main() {
 	flag.BoolVar(&cfg.runERC, "erc", false, "run electrical rule checks before timing")
 	flag.Float64Var(&cfg.deadline, "deadline", 0, "if positive, print a slack report against this time (seconds)")
 	flag.StringVar(&cfg.loopbreak, "loopbreak", "", "comma list of nodes whose fanout is cut (feedback directive)")
+	flag.StringVar(&cfg.edits, "edits", "", "edit script to replay with incremental re-analysis after the initial run")
+	flag.BoolVar(&cfg.watch, "watch", false, "after the initial run, read edit-script lines from stdin and re-analyze at each `run`")
 	flag.StringVar(&cfg.cpuprof, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&cfg.memprof, "memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -235,17 +242,49 @@ func run(cfg config, w io.Writer) (int, error) {
 	if err := a.Run(); err != nil {
 		return 0, err
 	}
-	st := nw.Stats()
-	fmt.Fprintf(w, "crystal: %s — %d transistors, %d nodes (%s tables)\n",
-		nw.Name, st.Trans, st.Nodes, tb.Source)
-	if err := a.WriteReport(w, cfg.top); err != nil {
+	// report writes the path (and optional slack) report for the current
+	// analysis state; the edit modes call it again after each re-analysis.
+	report := func() (int, error) {
+		st := a.Net.Stats()
+		fmt.Fprintf(w, "crystal: %s — %d transistors, %d nodes (%s tables)\n",
+			a.Net.Name, st.Trans, st.Nodes, tb.Source)
+		if err := a.WriteReport(w, cfg.top); err != nil {
+			return 0, err
+		}
+		if cfg.deadline > 0 {
+			fmt.Fprintln(w)
+			return a.WriteSlackReport(w, cfg.deadline, cfg.top), nil
+		}
+		return 0, nil
+	}
+	violations, err := report()
+	if err != nil {
 		return 0, err
 	}
-	if cfg.deadline > 0 {
-		fmt.Fprintln(w)
-		return a.WriteSlackReport(w, cfg.deadline, cfg.top), nil
+	if cfg.edits != "" {
+		ef, err := os.Open(cfg.edits)
+		if err != nil {
+			return violations, err
+		}
+		v, err := replayEdits(a, ef, cfg.edits, w, report, violations)
+		ef.Close()
+		if err != nil {
+			return violations, err
+		}
+		violations = v
 	}
-	return 0, nil
+	if cfg.watch {
+		in := cfg.watchIn
+		if in == nil {
+			in = os.Stdin
+		}
+		v, err := replayEdits(a, in, "stdin", w, report, violations)
+		if err != nil {
+			return violations, err
+		}
+		violations = v
+	}
+	return violations, nil
 }
 
 func splitList(s string) []string {

@@ -82,6 +82,11 @@ type Options struct {
 	// further — the user directive Crystal required to cut combinational
 	// feedback (latch internals) out of the worst-case iteration.
 	LoopBreak []*netlist.Node
+	// ReanalyzeMaxDirty is the dirty-node fraction above which Reanalyze
+	// abandons incremental propagation and redoes the analysis from
+	// scratch — past it, resetting and re-propagating most of the chip
+	// costs more than a clean full run (default 0.5).
+	ReanalyzeMaxDirty float64
 }
 
 func (o Options) fill() Options {
@@ -90,6 +95,9 @@ func (o Options) fill() Options {
 	}
 	if o.DefaultSlope <= 0 {
 		o.DefaultSlope = 1e-9
+	}
+	if o.ReanalyzeMaxDirty <= 0 {
+		o.ReanalyzeMaxDirty = 0.5
 	}
 	return o
 }
@@ -104,8 +112,9 @@ type Analyzer struct {
 	sim    *switchsim.Sim
 	static []switchsim.Value // settled values under fixed inputs
 
-	events [][2]Event // per node: [Rise, Fall]
-	count  [][2]int   // improvement counters
+	events [][2]Event    // per node: [Rise, Fall]
+	count  [][2]int      // improvement counters
+	hist   [][2]nodeHist // superseded-but-propagated events (incremental replay)
 
 	// Unbounded lists nodes whose arrival kept improving past the guard
 	// (combinational feedback); their times are lower bounds only.
@@ -139,6 +148,27 @@ type gateRef struct {
 	on1 bool // ConductsOn() == 1: the device conducts when its gate is high
 }
 
+// histEvent is one superseded event that was propagated before being
+// replaced. A node's worst-case (T, Slope) pair is not a complete summary
+// of its influence: an earlier event with a slower slope can produce a
+// LATER arrival downstream (slope degradation through the delay model), so
+// its candidates survive in downstream maxima even after the event itself
+// is replaced. Incremental re-analysis must replay these to reproduce a
+// from-scratch run bit for bit.
+type histEvent struct {
+	t, slope float64
+}
+
+// nodeHist tracks one (node, transition)'s replay state: the list of
+// superseded-but-propagated events (T strictly increasing, Slope strictly
+// decreasing between consecutive entries — an entry dominated by a later
+// RECORDED entry is pruned, but an entry superseded by a never-propagated
+// event is kept) and whether the CURRENT event has propagated yet.
+type nodeHist struct {
+	frontier   []histEvent
+	propagated bool
+}
+
 type seedEvent struct {
 	node  *netlist.Node
 	tr    tech.Transition
@@ -164,6 +194,23 @@ type qitem struct {
 // them into an interface (this is the innermost loop of every analysis).
 type eventHeap []qitem
 
+// qless is the heap's strict total order: arrival time, then (node,
+// transition) to break exact-time ties. A mere partial order on time
+// would let the pop order of tied events depend on the heap's internal
+// arrangement — i.e. on every unrelated event ever pushed — which makes
+// feedback-guard cutoffs irreproducible between a full run and an
+// incremental one. Node indexes are stable across incremental edits, so
+// this order is canonical for a given event set.
+func qless(a, b qitem) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	if a.node != b.node {
+		return a.node < b.node
+	}
+	return a.tr < b.tr
+}
+
 // push inserts an item and restores the heap invariant.
 func (h *eventHeap) push(it qitem) {
 	*h = append(*h, it)
@@ -171,7 +218,7 @@ func (h *eventHeap) push(it qitem) {
 	i := len(s) - 1
 	for i > 0 {
 		p := (i - 1) / 2
-		if s[p].t <= s[i].t {
+		if !qless(s[i], s[p]) {
 			break
 		}
 		s[p], s[i] = s[i], s[p]
@@ -194,10 +241,10 @@ func (h *eventHeap) pop() qitem {
 			break
 		}
 		c := l
-		if r := l + 1; r < n && s[r].t < s[l].t {
+		if r := l + 1; r < n && qless(s[r], s[l]) {
 			c = r
 		}
-		if s[i].t <= s[c].t {
+		if !qless(s[c], s[i]) {
 			break
 		}
 		s[i], s[c] = s[c], s[i]
@@ -294,8 +341,40 @@ func (a *Analyzer) Run() error {
 	nw := a.Net
 	a.events = make([][2]Event, len(nw.Nodes))
 	a.count = make([][2]int, len(nw.Nodes))
+	a.hist = make([][2]nodeHist, len(nw.Nodes))
 	a.queued = make([][2]bool, len(nw.Nodes))
 	a.queue = make(eventHeap, 0, 4*len(nw.Nodes))
+	a.buildGates()
+
+	if err := a.settleStatic(); err != nil {
+		return err
+	}
+
+	// Stage database: accept the shared one only if it was built over
+	// this network under the same sensitization and enumeration bounds;
+	// otherwise build a private one.
+	stamp := a.stageStamp()
+	if a.Opts.DB != nil && a.Opts.DB.Network() == nw && a.Opts.DB.Stamp == stamp {
+		a.db = a.Opts.DB
+	} else {
+		opt := a.Opts.Stage
+		opt.Oracle = a.oracle()
+		a.db = stage.NewDB(nw, opt)
+		a.db.Stamp = stamp
+	}
+	if w := Workers(a.Opts.Workers, 0); w > 1 {
+		a.db.Prewarm(w)
+	}
+
+	a.seedAll()
+	a.drain()
+	return nil
+}
+
+// buildGates rebuilds the predecoded gate lists and the loop-break mask
+// for the current a.Net generation.
+func (a *Analyzer) buildGates() {
+	nw := a.Net
 	a.loopBreak = make([]bool, len(nw.Nodes))
 	for _, n := range a.Opts.LoopBreak {
 		a.loopBreak[n.Index] = true
@@ -309,9 +388,15 @@ func (a *Analyzer) Run() error {
 			a.gates[i] = append(a.gates[i], gateRef{t, t.ConductsOn() == 1})
 		}
 	}
+}
 
-	// Static sensitization: settle the network with fixed values; nodes
-	// that receive events are left at X (they change during analysis).
+// settleStatic computes the static sensitization snapshot for the current
+// a.Net generation: settle the network with fixed values; nodes that
+// receive events are left at X (they change during analysis). It replaces
+// a.sim, a.static and invalidates the cached oracle.
+func (a *Analyzer) settleStatic() error {
+	nw := a.Net
+	a.cachedOracle = nil
 	a.sim = switchsim.New(nw)
 	for idx, v := range a.fixed {
 		if err := a.sim.SetInput(nw.Nodes[idx], v); err != nil {
@@ -348,30 +433,46 @@ func (a *Analyzer) Run() error {
 	}
 	a.sim.Settle()
 	a.static = a.sim.Snapshot()
+	return nil
+}
 
-	// Stage database: accept the shared one only if it was built over
-	// this network under the same sensitization and enumeration bounds;
-	// otherwise build a private one.
-	stamp := a.stageStamp()
-	if a.Opts.DB != nil && a.Opts.DB.Network() == nw && a.Opts.DB.Stamp == stamp {
-		a.db = a.Opts.DB
-	} else {
-		opt := a.Opts.Stage
-		opt.Oracle = a.oracle()
-		a.db = stage.NewDB(nw, opt)
-		a.db.Stamp = stamp
-	}
-	if w := Workers(a.Opts.Workers, 0); w > 1 {
-		a.db.Prewarm(w)
-	}
-
+// seedAll applies every seeded input event.
+func (a *Analyzer) seedAll() {
 	for _, s := range a.seeded {
 		a.improve(s.node.Index, s.tr, Event{
 			T: s.t, Slope: s.slope, Valid: true, FromNode: -1,
 		})
 	}
+}
 
-	for len(a.queue) > 0 {
+// replayItem is one historical boundary event re-injected during
+// incremental re-analysis, merged with the heap in trigger-time order so
+// candidate generation follows the same global order as a full run.
+type replayItem struct {
+	node  int
+	tr    tech.Transition
+	t     float64
+	slope float64
+}
+
+// drain runs the event loop until the queue empties.
+func (a *Analyzer) drain() { a.drainReplay(nil) }
+
+// drainReplay runs the event loop, interleaving the given replay items
+// (sorted by time) with the heap in time order. Replays re-propagate the
+// recorded events of clean boundary nodes; they bypass the improvement
+// counters because the counts already include those rounds from the run
+// that recorded them.
+func (a *Analyzer) drainReplay(replays []replayItem) {
+	ri := 0
+	for len(a.queue) > 0 || ri < len(replays) {
+		if ri < len(replays) && (len(a.queue) == 0 ||
+			!qless(a.queue[0], qitem{qkey{replays[ri].node, replays[ri].tr}, replays[ri].t})) {
+			r := replays[ri]
+			ri++
+			a.propagateEvent(r.node, r.tr, Event{T: r.t, Slope: r.slope, Valid: true})
+			continue
+		}
 		// Pop the earliest pending event: processing in time order makes
 		// most improvements final on first visit — longest-path over a
 		// DAG degenerates to one visit per node; reconvergence and
@@ -393,17 +494,40 @@ func (a *Analyzer) Run() error {
 			}
 			continue
 		}
+		a.hist[it.node][it.tr].propagated = true
 		a.propagate(it.node, it.tr)
 	}
-	return nil
 }
 
-// improve records a candidate event if it is later than the current one,
-// and queues the node for propagation. Returns whether it improved.
+// tieBetter orders candidates that arrive at exactly the same time, so the
+// surviving event is a function of the candidate set alone, not of the
+// order the analysis happened to generate them in. Incremental re-analysis
+// replays only part of the propagation order; without a total order on
+// ties its results could differ from a from-scratch run by provenance or
+// slope while both are "correct". Prefer the more pessimistic slope, then
+// the smallest predecessor.
+func tieBetter(cand, cur Event) bool {
+	if cand.Slope != cur.Slope {
+		return cand.Slope > cur.Slope
+	}
+	if cand.FromNode != cur.FromNode {
+		return cand.FromNode < cur.FromNode
+	}
+	return cand.FromTr < cur.FromTr
+}
+
+// improve records a candidate event if it is later than the current one
+// (with a deterministic tie-break at equal times), and queues the node for
+// propagation. Returns whether it improved.
 func (a *Analyzer) improve(node int, tr tech.Transition, ev Event) bool {
 	cur := &a.events[node][tr]
-	if cur.Valid && ev.T <= cur.T {
-		return false
+	if cur.Valid {
+		if ev.T < cur.T {
+			return false
+		}
+		if ev.T == cur.T && !tieBetter(ev, *cur) {
+			return false
+		}
 	}
 	n := a.Net.Nodes[node]
 	if n.IsRail() {
@@ -422,6 +546,26 @@ func (a *Analyzer) improve(node int, tr tech.Transition, ev Event) bool {
 			return false
 		}
 	}
+	// History: a superseded event that already propagated may still matter
+	// downstream — a steeper slope can yield a later consequence than the
+	// final (later, shallower) event does, and on a feedback-guarded node
+	// the superseding event may never propagate at all (the guard cuts the
+	// spin off), leaving the superseded one as the last influence the rest
+	// of the chip actually saw. Record every propagated-superseded event,
+	// pruning only entries dominated by the one being appended (it is
+	// itself replayed, so domination by it is safe), so an incremental
+	// re-analysis can replay exactly what a full run propagated.
+	if cur.Valid {
+		h := &a.hist[node][tr]
+		if h.propagated {
+			f := h.frontier
+			for len(f) > 0 && f[len(f)-1].slope <= cur.Slope {
+				f = f[:len(f)-1]
+			}
+			h.frontier = append(f, histEvent{cur.T, cur.Slope})
+		}
+		h.propagated = false
+	}
 	*cur = ev
 	// Always push: the heap tolerates stale entries (skipped at pop),
 	// and the new arrival time needs its own priority.
@@ -430,14 +574,21 @@ func (a *Analyzer) improve(node int, tr tech.Transition, ev Event) bool {
 	return true
 }
 
-// propagate fans an event out to its consequences.
+// propagate fans the node's current event out to its consequences.
 func (a *Analyzer) propagate(node int, tr tech.Transition) {
+	a.propagateEvent(node, tr, a.events[node][tr])
+}
+
+// propagateEvent fans an explicit event out to its consequences. The event
+// is usually the node's current arrival (propagate), but incremental replay
+// passes historical ones: superseded events whose steeper slopes a full run
+// propagated before they were overwritten.
+func (a *Analyzer) propagateEvent(node int, tr tech.Transition, ev Event) {
 	nw := a.Net
 	n := nw.Nodes[node]
 	if a.loopBreak[node] {
 		return // user directive: record the arrival, cut the fanout
 	}
-	ev := a.events[node][tr]
 	if !ev.Valid {
 		return
 	}

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
 	"repro/internal/delay"
 	"repro/internal/gen"
+	"repro/internal/incremental"
+	"repro/internal/netlist"
 	"repro/internal/stage"
 	"repro/internal/switchsim"
 	"repro/internal/tech"
@@ -108,6 +111,122 @@ func TestConcurrentSharedDB(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestEpochSnapshotIsolation pins the generational guarantee: analyzers
+// reading a network and its stage database keep bit-identical results while
+// another analyzer runs edit epochs over the same lineage. Reanalyze clones
+// the network and derives the next database generation, so the readers'
+// snapshot — network, database entries, arrivals — must never mix with the
+// new epoch. Run under -race this also proves the derivation shares clean
+// entries without writes the readers can observe.
+func TestEpochSnapshotIsolation(t *testing.T) {
+	p := tech.NMOS4()
+	nw, err := gen.Chip(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, lb := gen.ChipDirectives(4)
+	m := delay.NewSlope(delay.AnalyticTables(p))
+
+	newAnalyzer := func(target *netlist.Network, db *stage.DB) *Analyzer {
+		opts := Options{DB: db, Workers: 1}
+		for _, name := range lb {
+			opts.LoopBreak = append(opts.LoopBreak, target.Lookup(name))
+		}
+		a := New(target, m, opts)
+		for name, v := range fixed {
+			a.SetFixed(target.Lookup(name), switchsim.FromBool(v == "1"))
+		}
+		for _, in := range target.Inputs() {
+			if _, ok := fixed[in.Name]; ok {
+				continue
+			}
+			a.SetInputEvent(in, tech.Rise, 0, 0)
+			a.SetInputEvent(in, tech.Fall, 0, 0)
+		}
+		return a
+	}
+
+	// The editing analyzer establishes the generation the readers hold.
+	editor := newAnalyzer(nw, nil)
+	if err := editor.Run(); err != nil {
+		t.Fatal(err)
+	}
+	oldNet, oldDB := editor.Net, editor.StageDB()
+	oldEpoch := oldDB.Epoch
+
+	// Baseline arrivals of the old generation, captured before any edit.
+	baseline := make([][2]Event, len(oldNet.Nodes))
+	for i, n := range oldNet.Nodes {
+		baseline[i] = [2]Event{editor.Arrival(n, tech.Rise), editor.Arrival(n, tech.Fall)}
+	}
+
+	// Readers re-analyze the old generation against the old database in a
+	// loop while the editor advances epochs underneath them.
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	readerErr := make([]error, 3)
+	for r := range readerErr {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for iter := 0; ; iter++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				a := newAnalyzer(oldNet, oldDB)
+				if err := a.Run(); err != nil {
+					readerErr[r] = err
+					return
+				}
+				if a.StageDB() != oldDB {
+					readerErr[r] = fmt.Errorf("iter %d: reader rejected the shared database", iter)
+					return
+				}
+				for i, n := range oldNet.Nodes {
+					for _, tr := range []tech.Transition{tech.Rise, tech.Fall} {
+						if got := a.Arrival(n, tr); !sameEvent(got, baseline[i][tr]) {
+							readerErr[r] = fmt.Errorf("iter %d: arrival %s/%s = %+v, want %+v (snapshot leaked across epochs)",
+								iter, n.Name, tr, got, baseline[i][tr])
+							return
+						}
+					}
+				}
+			}
+		}(r)
+	}
+
+	// Edit epochs: geometry and load tweaks that keep the invalidation
+	// plan incremental, so Derive shares most entries with oldDB — the
+	// exact sharing the readers race against.
+	for epoch := 0; epoch < 4; epoch++ {
+		idx := (7 * epoch) % len(editor.Net.Trans)
+		for editor.Net.Trans[idx].IsWire() {
+			idx = (idx + 1) % len(editor.Net.Trans)
+		}
+		stats, err := editor.Reanalyze([]incremental.Edit{
+			{Kind: incremental.Resize, Index: idx, W: float64(4+epoch) * 1e-6},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Epoch != oldEpoch+uint64(epoch)+1 {
+			t.Fatalf("epoch %d: stats.Epoch = %d, want %d", epoch, stats.Epoch, oldEpoch+uint64(epoch)+1)
+		}
+	}
+	close(done)
+	wg.Wait()
+	for r, err := range readerErr {
+		if err != nil {
+			t.Errorf("reader %d: %v", r, err)
+		}
+	}
+	if oldDB.Epoch != oldEpoch {
+		t.Errorf("old database epoch moved: %d -> %d", oldEpoch, oldDB.Epoch)
 	}
 }
 

@@ -1,0 +1,282 @@
+// Incremental re-analysis: apply an edit batch from package incremental,
+// derive the next stage-database generation sharing every untouched entry,
+// reset only the arrivals the edits can move, and re-drain the event queue
+// from the dirty frontier. Results are bit-identical to a from-scratch
+// analysis of the edited network — the deterministic tie-break in improve
+// makes the fixpoint independent of propagation order, and the engine
+// falls back to a full run whenever it cannot prove the shortcut safe.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/incremental"
+	"repro/internal/netlist"
+	"repro/internal/stage"
+	"repro/internal/tech"
+)
+
+// ReanalyzeStats reports what one Reanalyze call did.
+type ReanalyzeStats struct {
+	// Full reports that the engine fell back to a from-scratch analysis;
+	// Reason says why.
+	Full   bool
+	Reason string
+
+	// DirtyNodes / TotalNodes / DirtyFrac describe the invalidation plan
+	// (non-source nodes; DirtyFrac = DirtyNodes/TotalNodes).
+	DirtyNodes int
+	TotalNodes int
+	DirtyFrac  float64
+
+	// Epoch is the stage-database generation after the call.
+	Epoch uint64
+	// StagesEvaluated counts model evaluations this call performed (the
+	// same metric StagesEvaluated reports cumulatively).
+	StagesEvaluated int
+}
+
+// Reanalyze applies the edit batch and brings the analysis up to date.
+// The previous network generation is never mutated — concurrent readers
+// of the old network or its stage database always finish on a consistent
+// snapshot — and afterwards a.Net, a.StageDB() and every arrival describe
+// the edited network exactly as a fresh Run over it would.
+//
+// The incremental path is taken when the invalidation plan stays under
+// Options.ReanalyzeMaxDirty and nothing poisons the shortcut; otherwise
+// the analysis reruns from scratch (still against the new generation).
+// Either way the seeded input events and fixed values carry over.
+func (a *Analyzer) Reanalyze(edits []incremental.Edit) (*ReanalyzeStats, error) {
+	if a.events == nil {
+		return nil, fmt.Errorf("core: Reanalyze before Run")
+	}
+	oldStatic := a.static
+	oldDB := a.db
+
+	res, err := incremental.Apply(a.Net, edits)
+	if err != nil {
+		return nil, err
+	}
+	a.rebind(res.Net)
+	if err := a.settleStatic(); err != nil {
+		return nil, err
+	}
+	plan := res.Plan(oldStatic, a.static)
+
+	stats := &ReanalyzeStats{
+		DirtyNodes: plan.DirtyNodes,
+		DirtyFrac:  plan.Frac,
+	}
+	for _, n := range a.Net.Nodes {
+		if !n.IsSource() {
+			stats.TotalNodes++
+		}
+	}
+	switch {
+	case plan.ForceFull:
+		stats.Full, stats.Reason = true, "retype changed the strong-source set"
+	case plan.Frac > a.Opts.ReanalyzeMaxDirty:
+		stats.Full, stats.Reason = true,
+			fmt.Sprintf("dirty fraction %.2f above threshold %.2f", plan.Frac, a.Opts.ReanalyzeMaxDirty)
+	case a.dirtyTouchesUnbounded(plan):
+		// The edit perturbs a feedback region whose spin the guard cut
+		// off. The cycle usually spans the dirty/clean boundary, and the
+		// clean half only replays its recorded history — it cannot respond
+		// to the recomputed half — so the incremental drain would settle
+		// the cycle at a non-canonical cutoff. Only a from-scratch drain
+		// reproduces the full run's spin.
+		stats.Full, stats.Reason = true, "edit touches a feedback region"
+	}
+
+	// Next stage-database generation. A full fallback still derives when
+	// it can: the entries are valid either way, only the arrivals need
+	// recomputing. ForceFull means the source set changed under the
+	// enumerator's feet, so nothing old is trustworthy.
+	opt := a.Opts.Stage
+	opt.Oracle = a.oracle()
+	stamp := a.stageStamp()
+	if plan.ForceFull || oldDB == nil {
+		a.db = stage.NewDB(a.Net, opt)
+		if oldDB != nil {
+			a.db.Epoch = oldDB.Epoch + 1
+		}
+	} else {
+		a.db = oldDB.Derive(a.Net, opt, plan.DirtyTrans, plan.DBDirtyNode, res.OldTrans)
+	}
+	a.db.Stamp = stamp
+	stats.Epoch = a.db.Epoch
+
+	evBefore := a.stageEv
+	if stats.Full {
+		a.runFull()
+	} else {
+		carried := a.runIncremental(plan)
+		if len(a.Unbounded) > carried {
+			// The feedback guard fired inside the dirty cone: its cutoff
+			// point is order-dependent, so only a from-scratch drain gives
+			// the canonical answer. (Guard hits wholly in the clean region
+			// carry over unchanged — the clean region's event stream is
+			// independent of the dirty cone, so its cutoffs are already
+			// canonical.)
+			stats.Full, stats.Reason = true, "feedback detected in the edited region"
+			a.runFull()
+		}
+	}
+	a.Truncated = a.Truncated || a.db.Truncated()
+	stats.StagesEvaluated = a.stageEv - evBefore
+	return stats, nil
+}
+
+// dirtyTouchesUnbounded reports whether any node the previous analysis
+// left on the feedback guard is inside the invalidation plan's dirty cone.
+func (a *Analyzer) dirtyTouchesUnbounded(plan *incremental.Plan) bool {
+	for _, n := range a.Unbounded {
+		if plan.NodeDirty(n.Index) {
+			return true
+		}
+	}
+	return false
+}
+
+// rebind repoints the analyzer at the next network generation. Node
+// indexes are stable across edits, so index-keyed state (fixed values,
+// initial values) carries over untouched; node pointers must be remapped.
+func (a *Analyzer) rebind(nw *netlist.Network) {
+	a.Net = nw
+	for i := range a.seeded {
+		a.seeded[i].node = nw.Nodes[a.seeded[i].node.Index]
+	}
+	for i, n := range a.Opts.LoopBreak {
+		a.Opts.LoopBreak[i] = nw.Nodes[n.Index]
+	}
+	a.Opts.DB = nil // a caller-shared DB describes the old generation
+	a.buildGates()
+}
+
+// runFull redoes the analysis from scratch over the current generation
+// (the stage database is already bound).
+func (a *Analyzer) runFull() {
+	nw := a.Net
+	a.events = make([][2]Event, len(nw.Nodes))
+	a.count = make([][2]int, len(nw.Nodes))
+	a.hist = make([][2]nodeHist, len(nw.Nodes))
+	a.queued = make([][2]bool, len(nw.Nodes))
+	a.queue = make(eventHeap, 0, 4*len(nw.Nodes))
+	a.Unbounded = nil
+	if w := Workers(a.Opts.Workers, 0); w > 1 {
+		a.db.Prewarm(w)
+	}
+	a.seedAll()
+	a.drain()
+}
+
+// runIncremental resets only the dirty arrivals and re-propagates from the
+// clean/dirty boundary.
+//
+// Why this reaches the same fixpoint as runFull: every timing edge runs
+// either within one channel-connected group (stages span one group) or
+// along gate fanout (a gate event triggers stages in the gated device's
+// group). The plan's time-dirty set is closed under gate fanout from every
+// perturbed group, so no arrival outside it can change — clean events are
+// already at the full analysis's fixpoint, and re-applying their candidates
+// is a no-op under the tie-break. Conversely every event inside the dirty
+// cone is rederivable from the boundary: the clean nodes (and inputs)
+// whose events trigger stages into dirty groups.
+// It returns the number of carried-over Unbounded entries: feedback-guard
+// hits wholly in the clean region, which remain canonical (dirty-region
+// hits are dropped and re-detected; the caller falls back to a full run if
+// any new ones appear).
+func (a *Analyzer) runIncremental(plan *incremental.Plan) int {
+	nw := a.Net
+	if len(a.events) < len(nw.Nodes) {
+		events := make([][2]Event, len(nw.Nodes))
+		copy(events, a.events)
+		count := make([][2]int, len(nw.Nodes))
+		copy(count, a.count)
+		hist := make([][2]nodeHist, len(nw.Nodes))
+		copy(hist, a.hist)
+		queued := make([][2]bool, len(nw.Nodes))
+		copy(queued, a.queued)
+		a.events, a.count, a.hist, a.queued = events, count, hist, queued
+	}
+	for i := range nw.Nodes {
+		if plan.NodeDirty(i) {
+			a.events[i] = [2]Event{}
+			a.count[i] = [2]int{}
+			a.hist[i] = [2]nodeHist{}
+			a.queued[i] = [2]bool{}
+		}
+	}
+	a.queue = a.queue[:0]
+	// Carry over guard hits outside the dirty cone (remapped to the new
+	// generation — node indexes are stable). Clean nodes never re-enter the
+	// heap, so they cannot re-report themselves; dropping them would make
+	// Unbounded diverge from what a fresh full run reports.
+	carried := a.Unbounded[:0:0]
+	for _, n := range a.Unbounded {
+		if !plan.NodeDirty(n.Index) {
+			carried = append(carried, nw.Nodes[n.Index])
+		}
+	}
+	a.Unbounded = carried
+
+	// Boundary replay: collect every clean event that can trigger a stage
+	// whose group is time-dirty — not just the final arrival, but the whole
+	// recorded history (superseded-but-propagated events first), because a
+	// full run propagated those too and a steeper superseded slope can
+	// produce the latest downstream consequence. The items are merged into
+	// the drain in trigger-time order so candidate generation follows the
+	// same global order as a from-scratch run. Improvements can only land on
+	// dirty nodes (see above), so clean state — including propagation counts
+	// and history — is never touched.
+	var replays []replayItem
+	for i, n := range nw.Nodes {
+		if plan.NodeDirty(i) {
+			continue
+		}
+		touches := false
+		for _, g := range a.gates[i] {
+			if plan.TransTouchesDirty(g.t) {
+				touches = true
+				break
+			}
+		}
+		if !touches && n.Kind == netlist.KindInput && len(n.Terms) > 0 {
+			touches = plan.SourceTouchesDirty(n)
+		}
+		if !touches {
+			continue
+		}
+		for _, tr := range []tech.Transition{tech.Rise, tech.Fall} {
+			h := &a.hist[i][tr]
+			for _, he := range h.frontier {
+				replays = append(replays, replayItem{i, tr, he.t, he.slope})
+			}
+			if ev := a.events[i][tr]; ev.Valid && h.propagated {
+				replays = append(replays, replayItem{i, tr, ev.T, ev.Slope})
+			}
+		}
+	}
+	sort.Slice(replays, func(x, y int) bool {
+		if replays[x].t != replays[y].t {
+			return replays[x].t < replays[y].t
+		}
+		if replays[x].node != replays[y].node {
+			return replays[x].node < replays[y].node
+		}
+		return replays[x].tr < replays[y].tr
+	})
+	// Seeds on dirty nodes: an input is a strong source and never dirty,
+	// but re-applying is cheap and covers any seed landing on a node the
+	// batch created or perturbed.
+	for _, s := range a.seeded {
+		if plan.NodeDirty(s.node.Index) {
+			a.improve(s.node.Index, s.tr, Event{
+				T: s.t, Slope: s.slope, Valid: true, FromNode: -1,
+			})
+		}
+	}
+	a.drainReplay(replays)
+	return len(carried)
+}

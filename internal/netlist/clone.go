@@ -1,0 +1,108 @@
+// Cloning and structural editing. The incremental re-analysis engine
+// (internal/incremental) never mutates a network an analysis has seen:
+// each edit epoch applies to a fresh Clone, so stage databases and
+// analyzers still reading the previous generation observe a fully
+// immutable snapshot. Clone therefore preserves everything enumeration
+// order depends on — node and transistor indexes, and the insertion
+// order of every adjacency list — so a clone analyzes bit-identically to
+// its original.
+package netlist
+
+// Clone returns a deep copy of the network: same node and transistor
+// indexes, same adjacency-list order, independent storage. The technology
+// parameters are shared (they are immutable by convention).
+func (nw *Network) Clone() *Network {
+	c := &Network{
+		Name:   nw.Name,
+		Tech:   nw.Tech,
+		Nodes:  make([]*Node, len(nw.Nodes)),
+		Trans:  make([]*Trans, len(nw.Trans)),
+		byName: make(map[string]*Node, len(nw.Nodes)),
+	}
+	for i, n := range nw.Nodes {
+		cn := &Node{
+			Index:      n.Index,
+			Name:       n.Name,
+			Kind:       n.Kind,
+			Cap:        n.Cap,
+			Precharged: n.Precharged,
+		}
+		c.Nodes[i] = cn
+		c.byName[cn.Name] = cn
+	}
+	c.vdd = c.Nodes[nw.vdd.Index]
+	c.gnd = c.Nodes[nw.gnd.Index]
+	for i, t := range nw.Trans {
+		ct := &Trans{
+			Index:     t.Index,
+			Type:      t.Type,
+			Gate:      c.Nodes[t.Gate.Index],
+			A:         c.Nodes[t.A.Index],
+			B:         c.Nodes[t.B.Index],
+			W:         t.W,
+			L:         t.L,
+			Flow:      t.Flow,
+			ROverride: t.ROverride,
+		}
+		c.Trans[i] = ct
+	}
+	// Adjacency lists are rebuilt element-for-element from the originals,
+	// not re-derived, so any insertion order (including the post-removal
+	// order left by RemoveTrans) survives the copy exactly.
+	for i, n := range nw.Nodes {
+		cn := c.Nodes[i]
+		if len(n.Gates) > 0 {
+			cn.Gates = make([]*Trans, len(n.Gates))
+			for j, t := range n.Gates {
+				cn.Gates[j] = c.Trans[t.Index]
+			}
+		}
+		if len(n.Terms) > 0 {
+			cn.Terms = make([]*Trans, len(n.Terms))
+			for j, t := range n.Terms {
+				cn.Terms[j] = c.Trans[t.Index]
+			}
+		}
+	}
+	return c
+}
+
+// RemoveTrans deletes transistor t from the network. The last transistor
+// is swapped into the hole to keep indexes dense, so exactly one surviving
+// transistor (the returned one, nil if t was last) changes index. Nodes
+// are never removed — a node left floating keeps loading nothing.
+// Adjacency lists keep their relative order.
+func (nw *Network) RemoveTrans(t *Trans) *Trans {
+	if nw.Trans[t.Index] != t {
+		panic("netlist: RemoveTrans of foreign transistor")
+	}
+	removeFrom(&t.Gate.Gates, t)
+	removeFrom(&t.A.Terms, t)
+	if t.B != t.A {
+		removeFrom(&t.B.Terms, t)
+	}
+	last := len(nw.Trans) - 1
+	var moved *Trans
+	if t.Index != last {
+		moved = nw.Trans[last]
+		moved.Index = t.Index
+		nw.Trans[t.Index] = moved
+	}
+	nw.Trans[last] = nil
+	nw.Trans = nw.Trans[:last]
+	t.Index = -1
+	return moved
+}
+
+// removeFrom deletes the first occurrence of t, preserving order.
+func removeFrom(list *[]*Trans, t *Trans) {
+	s := *list
+	for i, x := range s {
+		if x == t {
+			copy(s[i:], s[i+1:])
+			s[len(s)-1] = nil
+			*list = s[:len(s)-1]
+			return
+		}
+	}
+}

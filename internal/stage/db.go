@@ -5,6 +5,13 @@
 // (element index, transition) instead of hashed, and built at most once
 // per key under a sync.Once so any number of concurrent analyses can
 // share one database without rebuilding or locking on the hot path.
+//
+// Databases are generational: an edit epoch never resets entries in
+// place. Derive builds the next generation over the edited network,
+// sharing the entry objects of untouched channel-connected groups and
+// allocating fresh ones only for the dirty indexes, so analyzers still
+// reading the previous generation — whose network is never mutated —
+// always finish on a consistent snapshot.
 package stage
 
 import (
@@ -29,11 +36,15 @@ type DB struct {
 	// under (the caller encodes static node values and enumeration
 	// bounds). Consumers must not share a DB across different stamps.
 	Stamp string
+	// Epoch counts edit generations: 0 for a fresh database, predecessor
+	// epoch + 1 for one built by Derive. Diagnostics only — correctness
+	// comes from each generation owning its own immutable network.
+	Epoch uint64
 
-	through []dbEntry   // (trans, transition) → stages through the device
-	release []dbEntry   // (node, transition) → stages driving the node
-	from    []dbEntry   // (node, transition) → stages fanning out of the node
-	groups  []groupEntry // trans → channel-connected group
+	through []*dbEntry    // (trans, transition) → stages through the device
+	release []*dbEntry    // (node, transition) → stages driving the node
+	from    []*dbEntry    // (node, transition) → stages fanning out of the node
+	groups  []*groupEntry // trans → channel-connected group
 
 	truncated atomic.Bool
 }
@@ -51,16 +62,37 @@ type groupEntry struct {
 	nodes []*netlist.Node
 }
 
+// newEntries allocates n entries in one backing array and returns the
+// pointer slice the database indexes (pointers, not values, so Derive can
+// share individual entries across generations).
+func newEntries(n int) []*dbEntry {
+	backing := make([]dbEntry, n)
+	ptrs := make([]*dbEntry, n)
+	for i := range backing {
+		ptrs[i] = &backing[i]
+	}
+	return ptrs
+}
+
+func newGroupEntries(n int) []*groupEntry {
+	backing := make([]groupEntry, n)
+	ptrs := make([]*groupEntry, n)
+	for i := range backing {
+		ptrs[i] = &backing[i]
+	}
+	return ptrs
+}
+
 // NewDB creates an empty database for the network. opt.Oracle fixes the
 // sensitization for every enumeration the database will ever perform.
 func NewDB(nw *netlist.Network, opt Options) *DB {
 	return &DB{
 		nw:      nw,
 		opt:     opt.fill(),
-		through: make([]dbEntry, 2*len(nw.Trans)),
-		release: make([]dbEntry, 2*len(nw.Nodes)),
-		from:    make([]dbEntry, 2*len(nw.Nodes)),
-		groups:  make([]groupEntry, len(nw.Trans)),
+		through: newEntries(2 * len(nw.Trans)),
+		release: newEntries(2 * len(nw.Nodes)),
+		from:    newEntries(2 * len(nw.Nodes)),
+		groups:  newGroupEntries(len(nw.Trans)),
 	}
 }
 
@@ -75,7 +107,7 @@ func (db *DB) Truncated() bool { return db.truncated.Load() }
 // Through returns the stages created when transistor t becomes conducting,
 // targeting transition tr, plus whether that enumeration was truncated.
 func (db *DB) Through(t *netlist.Trans, tr tech.Transition) ([]*Stage, bool) {
-	e := &db.through[2*t.Index+int(tr)]
+	e := db.through[2*t.Index+int(tr)]
 	e.once.Do(func() {
 		res := Through(db.nw, t, tr, db.opt)
 		e.stages, e.trunc = res.Stages, res.Truncated
@@ -89,7 +121,7 @@ func (db *DB) Through(t *netlist.Trans, tr tech.Transition) ([]*Stage, bool) {
 // Release returns the stages that could drive node n with transition tr
 // (the paths a released node may move along), plus truncation.
 func (db *DB) Release(n *netlist.Node, tr tech.Transition) ([]*Stage, bool) {
-	e := &db.release[2*n.Index+int(tr)]
+	e := db.release[2*n.Index+int(tr)]
 	e.once.Do(func() {
 		res := ToNode(db.nw, n, tr, db.opt)
 		e.stages, e.trunc = res.Stages, res.Truncated
@@ -103,7 +135,7 @@ func (db *DB) Release(n *netlist.Node, tr tech.Transition) ([]*Stage, bool) {
 // From returns the stages created when node n itself transitions (an input
 // event riding through conducting pass devices), plus truncation.
 func (db *DB) From(n *netlist.Node, tr tech.Transition) ([]*Stage, bool) {
-	e := &db.from[2*n.Index+int(tr)]
+	e := db.from[2*n.Index+int(tr)]
 	e.once.Do(func() {
 		res := FromNode(db.nw, n, tr, db.opt)
 		e.stages, e.trunc = res.Stages, res.Truncated
@@ -119,11 +151,73 @@ func (db *DB) From(n *netlist.Node, tr tech.Transition) ([]*Stage, bool) {
 // without expanding through strong sources — the set of nodes a turn-off
 // of t releases.
 func (db *DB) Group(t *netlist.Trans) []*netlist.Node {
-	e := &db.groups[t.Index]
+	e := db.groups[t.Index]
 	e.once.Do(func() {
 		e.nodes = channelGroup(db.nw, t, db.opt.Oracle)
 	})
 	return e.nodes
+}
+
+// Derive builds the next-generation database over the edited network nw
+// (a distinct object from this database's network — edits never mutate a
+// generation an analysis has seen). Entries of untouched indexes are
+// shared with this database: a shared entry already built keeps its
+// stages; one still unbuilt is enumerated later by whichever generation
+// first asks, and because the clean channel-connected groups are
+// structurally identical in both networks the resulting stage values are
+// the same either way. Dirty indexes get fresh, empty entries.
+//
+//   - opt supplies the new generation's sensitization oracle (the caller
+//     re-settles statics after the edit) and must keep the same
+//     enumeration bounds.
+//   - dirtyTrans / dirtyNode are indexed by the NEW network's indexes;
+//     true means the entry must be re-enumerated.
+//   - oldTrans maps new transistor indexes to this generation's indexes
+//     (-1 for transistors that did not exist before). Node indexes are
+//     stable across edits, so nodes need no map — new nodes are simply
+//     beyond the old range.
+//
+// The caller sets Stamp. Concurrent readers of the receiver are
+// unaffected: Derive only copies entry pointers.
+func (db *DB) Derive(nw *netlist.Network, opt Options, dirtyTrans, dirtyNode []bool, oldTrans []int) *DB {
+	opt = opt.fill()
+	next := &DB{
+		nw:      nw,
+		opt:     opt,
+		Epoch:   db.Epoch + 1,
+		through: newEntries(2 * len(nw.Trans)),
+		release: newEntries(2 * len(nw.Nodes)),
+		from:    newEntries(2 * len(nw.Nodes)),
+		groups:  newGroupEntries(len(nw.Trans)),
+	}
+	// Conservative: a truncated enumeration in a shared entry stays
+	// truncated in the new generation.
+	if db.truncated.Load() {
+		next.truncated.Store(true)
+	}
+	for j := range nw.Trans {
+		old := -1
+		if j < len(oldTrans) {
+			old = oldTrans[j]
+		}
+		if old < 0 || (j < len(dirtyTrans) && dirtyTrans[j]) {
+			continue // keep the fresh entries
+		}
+		next.through[2*j] = db.through[2*old]
+		next.through[2*j+1] = db.through[2*old+1]
+		next.groups[j] = db.groups[old]
+	}
+	oldNodes := len(db.nw.Nodes)
+	for j := range nw.Nodes {
+		if j >= oldNodes || (j < len(dirtyNode) && dirtyNode[j]) {
+			continue
+		}
+		next.release[2*j] = db.release[2*j]
+		next.release[2*j+1] = db.release[2*j+1]
+		next.from[2*j] = db.from[2*j]
+		next.from[2*j+1] = db.from[2*j+1]
+	}
+	return next
 }
 
 // seenPool recycles the visited-marks scratch of channelGroup; on a

@@ -131,12 +131,16 @@ func (s *Stage) SideSorted() bool { return s.sideSorted }
 
 // UsesTrans reports whether the stage's path runs through transistor t.
 // The bloom filter rejects most queries without touching the path.
+// Identity is by index, not pointer: a stage memoized in a previous edit
+// generation of the network describes the same device under the same
+// index (the incremental engine re-enumerates any group whose indexes
+// were disturbed), so cross-generation queries still answer correctly.
 func (s *Stage) UsesTrans(t *netlist.Trans) bool {
 	if s.pathBloom != 0 && s.pathBloom&(1<<(uint(t.Index)&63)) == 0 {
 		return false
 	}
 	for _, e := range s.Path {
-		if e.Trans == t {
+		if e.Trans.Index == t.Index {
 			return true
 		}
 	}

@@ -2,8 +2,9 @@
 # Runs the two headline benchmarks (E2 accuracy suite, E6 chip-scale
 # analysis) three times each and writes BENCH_1.json: the fresh runs plus
 # the pinned pre-optimization baseline, so the speedup is always visible
-# in one file. Usage: scripts/bench.sh (from the repo root, or via
-# `make bench`).
+# in one file. Then runs the incremental re-analysis benchmark and writes
+# BENCH_2.json with the incremental-vs-full speedup. Usage:
+# scripts/bench.sh (from the repo root, or via `make bench`).
 set -e
 cd "$(dirname "$0")/.."
 
@@ -49,3 +50,41 @@ END {
 
 echo "wrote $OUT"
 cat "$OUT"
+
+# BENCH_2.json: incremental re-analysis vs from-scratch at chip scale.
+# BenchmarkE6Incremental edits ~1% of the E6 chip (datapath + multiplier +
+# adder + PLA) per iteration and reports the measured full-run baseline,
+# the dirty fraction, and the incremental speedup.
+OUT2=BENCH_2.json
+go test -run '^$' -bench 'BenchmarkE6Incremental$' \
+    -benchtime 3x -count 3 . | tee "$RAW"
+
+awk '
+/^BenchmarkE6Incremental/ {
+    ns = ns $3 ","
+    for (i = 5; i < NF; i += 2) {
+        if ($(i + 1) == "%dirty")          dirty = dirty $i ","
+        if ($(i + 1) == "speedup-vs-full") spd = spd $i ","
+    }
+}
+function median(csv,   r, n, i, j, t) {
+    sub(/,$/, "", csv)
+    n = split(csv, r, ",")
+    for (i = 1; i < n; i++)
+        for (j = i + 1; j <= n; j++)
+            if (r[j] + 0 < r[i] + 0) { t = r[i]; r[i] = r[j]; r[j] = t }
+    return r[int((n + 1) / 2)]
+}
+END {
+    sub(/,$/, "", ns); sub(/,$/, "", dirty); sub(/,$/, "", spd)
+    printf "{\n  \"benchmarks\": {\n"
+    printf "    \"BenchmarkE6Incremental\": {\n"
+    printf "      \"runs_ns_op\": [%s],\n", ns
+    printf "      \"median_ns_op\": %s,\n", median(ns)
+    printf "      \"dirty_pct\": %s,\n", median(dirty)
+    printf "      \"speedup_incremental_vs_full\": %s\n", median(spd)
+    printf "    }\n  }\n}\n"
+}' "$RAW" > "$OUT2"
+
+echo "wrote $OUT2"
+cat "$OUT2"
