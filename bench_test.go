@@ -8,6 +8,7 @@ package repro
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -225,8 +226,26 @@ func BenchmarkE6Capacity(b *testing.B) {
 // processor datapath (register file + ALU + shifter + multiplier +
 // address adder + control PLA) analyzed with the same directives a
 // Crystal user would supply — the reproduction stand-in for the paper's
-// real-chip case studies.
-func BenchmarkE6ChipScale(b *testing.B) {
+// real-chip case studies. The headline benchmark pins the strict-serial
+// drain (workers = 1) so its history stays comparable across machines;
+// BenchmarkE6ChipScaleWorkers sweeps the parallel drain.
+func BenchmarkE6ChipScale(b *testing.B) { benchE6Chip(b, 1) }
+
+// BenchmarkE6ChipScaleWorkers runs the same whole-chip analysis under the
+// speculative parallel drain at increasing worker counts (results are
+// bit-identical at every setting — the sweep measures single-run scaling,
+// recorded by scripts/bench.sh into BENCH_3.json).
+func BenchmarkE6ChipScaleWorkers(b *testing.B) {
+	counts := []int{1, 2, 4}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 2 && g != 4 {
+		counts = append(counts, g)
+	}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchE6Chip(b, w) })
+	}
+}
+
+func benchE6Chip(b *testing.B, workers int) {
 	p := tech.NMOS4()
 	tb := delay.AnalyticTables(p)
 	var trans, stages int
@@ -238,7 +257,7 @@ func BenchmarkE6ChipScale(b *testing.B) {
 		}
 		trans = nw.Stats().Trans
 		fixed, loopBreak := gen.ChipDirectives(32)
-		var opts core.Options
+		opts := core.Options{Workers: workers}
 		for _, name := range loopBreak {
 			if n := nw.Lookup(name); n != nil {
 				opts.LoopBreak = append(opts.LoopBreak, n)

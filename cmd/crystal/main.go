@@ -8,12 +8,15 @@
 //
 //	crystal -sim alu8.sim [-tech nmos-4u] [-model slope] [-tables char]
 //	        [-rise a0,b0] [-fall a0] [-fix ctl=1,en=0] [-slope 1e-9]
-//	        [-top 5] [-erc] [-deadline 200e-9]
+//	        [-top 5] [-erc] [-deadline 200e-9] [-workers 1]
 //
 // With no -rise/-fall flags every node marked "@ in" in the netlist
 // toggles in both directions at t=0, the fully vectorless worst case.
 // With -deadline, a slack report follows the critical paths and the exit
-// status is 2 if any endpoint misses the deadline.
+// status is 2 if any endpoint misses the deadline. -workers parallelizes
+// the drain of this single analysis (0 selects all cores); arrival times
+// and reports are bit-identical at every worker count, so the flag is
+// purely a speed knob.
 package main
 
 import (
@@ -44,6 +47,7 @@ type config struct {
 	fall      string
 	fix       string
 	inSlope   float64
+	workers   int
 	top       int
 	runERC    bool
 	deadline  float64
@@ -102,6 +106,7 @@ func main() {
 	flag.StringVar(&cfg.fall, "fall", "", "comma list of inputs that fall at t=0")
 	flag.StringVar(&cfg.fix, "fix", "", "comma list of node=0|1 fixed values")
 	flag.Float64Var(&cfg.inSlope, "slope", 1e-9, "input transition time in seconds")
+	flag.IntVar(&cfg.workers, "workers", 1, "drain worker count for one analysis (0 = all cores); results are bit-identical at every setting")
 	flag.IntVar(&cfg.top, "top", 5, "number of critical paths to print")
 	flag.BoolVar(&cfg.runERC, "erc", false, "run electrical rule checks before timing")
 	flag.Float64Var(&cfg.deadline, "deadline", 0, "if positive, print a slack report against this time (seconds)")
@@ -182,7 +187,10 @@ func run(cfg config, w io.Writer) (int, error) {
 		return 0, err
 	}
 
-	var opts core.Options
+	// The drain parallelism of the single analysis this command runs.
+	// Reports are built from arrivals, which are bit-identical at every
+	// worker count, so -workers only changes how fast the answer arrives.
+	opts := core.Options{Workers: cfg.workers}
 	for _, name := range splitList(cfg.loopbreak) {
 		n := nw.Lookup(name)
 		if n == nil {

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/delay"
 	"repro/internal/netlist"
+	"repro/internal/sched"
 	"repro/internal/stage"
 	"repro/internal/switchsim"
 	"repro/internal/tech"
@@ -59,12 +60,14 @@ type Options struct {
 	// time but never correctness. Obtain one from Analyzer.StageDB after
 	// a Run. Safe to share across concurrent analyzers.
 	DB *stage.DB
-	// Workers sets the parallelism of the analysis setup: with more than
-	// one worker (0 selects GOMAXPROCS) the stage database is prewarmed
-	// concurrently before the event loop instead of being filled lazily
-	// inside it. The event loop itself is always serial and arrival
-	// times are bit-identical at every worker count; Workers = 1 is the
-	// strict no-goroutine mode.
+	// Workers sets the parallelism of one analysis (0 selects GOMAXPROCS).
+	// With more than one worker the stage database is prewarmed
+	// concurrently and the event loop itself runs the speculative
+	// parallel drain (see drain.go): frontiers of upcoming events are
+	// evaluated on a worker pool and committed serially in strict queue
+	// order, so arrival times, slopes, provenance and feedback-guard
+	// verdicts are bit-identical at every worker count. Workers = 1 is
+	// the strict no-goroutine mode running the plain serial loop.
 	Workers int
 	// MaxEventsPerNode guards against combinational feedback: after this
 	// many propagation rounds from one node's arrival the analyzer stops
@@ -116,6 +119,17 @@ type Analyzer struct {
 	count  [][2]int      // improvement counters
 	hist   [][2]nodeHist // superseded-but-propagated events (incremental replay)
 
+	// histArena backs every nodeHist chain: chunks of recorded events
+	// linked by arena index, with histFree heading a free chain of chunks
+	// returned by dirty-node resets. The arena is pointer-free and grows
+	// in large doubling steps, so recording history costs the drain no
+	// per-event allocation and the collector no scan work — a naive
+	// []histEvent per (node, transition) re-entered the GC on every
+	// improvement and dominated the chip-scale run. Index 0 is a sentinel
+	// ("no chunk"), so the zero nodeHist is naturally empty.
+	histArena []histChunk
+	histFree  int32
+
 	// Unbounded lists nodes whose arrival kept improving past the guard
 	// (combinational feedback); their times are lower bounds only.
 	Unbounded []*netlist.Node
@@ -127,25 +141,26 @@ type Analyzer struct {
 	initial      []switchsim.Value // pre-settle stored values (clocked analyses)
 	loopBreak    []bool
 	cachedOracle stage.Oracle
-	queue        eventHeap
-	queued       [][2]bool // per (node, transition): live entry in the heap
+	queue        sched.Queue
+	queued       [][2]bool // per (node, transition): live entry in the queue
 	stageEv      int       // stages evaluated (cost metric)
+
+	// Parallel-drain scratch (see drain.go): frontier slots, the
+	// PopFrontier buffer, and the running minimum committed stage delay
+	// that fences speculation epochs.
+	spec     []specItem
+	fbuf     []sched.Item
+	minDelay float64
 
 	// db memoizes stage enumeration: sensitization is static during Run,
 	// so a trigger's stages never change. Either a private database or
 	// one shared via Options.DB (stamp-checked in Run).
 	db *stage.DB
 
-	// gates[n] lists node n's gated (non-depletion) transistors with
-	// their conduction polarity predecoded, so the event loop does not
-	// re-derive AlwaysOn/ConductsOn per propagation.
-	gates [][]gateRef
-}
-
-// gateRef is one predecoded gate connection.
-type gateRef struct {
-	t   *netlist.Trans
-	on1 bool // ConductsOn() == 1: the device conducts when its gate is high
+	// cnet is the compiled structure-of-arrays view of a.Net (CSR gate
+	// adjacency, per-node flags) — the only network representation the
+	// event loop reads. Rebuilt per generation by buildGates.
+	cnet *netlist.Compact
 }
 
 // histEvent is one superseded event that was propagated before being
@@ -159,14 +174,97 @@ type histEvent struct {
 	t, slope float64
 }
 
-// nodeHist tracks one (node, transition)'s replay state: the list of
-// superseded-but-propagated events (T strictly increasing, Slope strictly
-// decreasing between consecutive entries — an entry dominated by a later
-// RECORDED entry is pruned, but an entry superseded by a never-propagated
-// event is kept) and whether the CURRENT event has propagated yet.
+// histChunkLen is the events-per-chunk of the history arena: sized so the
+// common short streams (a handful of superseded events) fit in one chunk
+// while hub nodes near the guard budget chain a few dozen.
+const histChunkLen = 8
+
+// histChunk is one arena block of a (node, transition)'s recorded stream.
+// next links to the following chunk (arena index; 0 terminates). Freed
+// chains are threaded through next onto the analyzer's free list.
+type histChunk struct {
+	ev   [histChunkLen]histEvent
+	n    int32
+	next int32
+}
+
+// nodeHist tracks one (node, transition)'s replay state: the complete
+// chain of superseded-but-propagated events in propagation order (T
+// non-decreasing), stored in the analyzer's history arena (head/tail are
+// chunk indexes, 0 = empty), and whether the CURRENT event has propagated
+// yet.
+//
+// The chain is deliberately NOT pruned to the slope frontier. Dominated
+// entries (an earlier, shallower event followed by a later, steeper one)
+// cannot change any final arrival — their replayed candidates lose to the
+// dominating event's under the deterministic tie-break — but they do
+// carry propagation *rounds*: a downstream node's feedback-guard count is
+// the number of improvements it saw, not the number of frontier events.
+// Pruning here made incremental re-analysis under-count rounds on nodes
+// fed by long streams (e.g. downstream of a guard-cut spin) and miss
+// guard hits a from-scratch run reports. The chain length is bounded by
+// Options.MaxEventsPerNode per (node, transition): the guard stops
+// propagation — and therefore recording — past that count.
 type nodeHist struct {
-	frontier   []histEvent
+	head, tail int32
 	propagated bool
+}
+
+// appendHist records one superseded-but-propagated event on h's chain.
+func (a *Analyzer) appendHist(h *nodeHist, t, slope float64) {
+	if h.tail != 0 {
+		if c := &a.histArena[h.tail]; c.n < histChunkLen {
+			c.ev[c.n] = histEvent{t, slope}
+			c.n++
+			return
+		}
+	}
+	idx := a.newHistChunk()
+	c := &a.histArena[idx]
+	c.ev[0] = histEvent{t, slope}
+	c.n = 1
+	if h.tail == 0 {
+		h.head = idx
+	} else {
+		a.histArena[h.tail].next = idx
+	}
+	h.tail = idx
+}
+
+// newHistChunk returns a zeroed chunk: off the free list when a dirty
+// reset returned one, freshly appended otherwise (materializing the
+// index-0 sentinel on first use).
+func (a *Analyzer) newHistChunk() int32 {
+	if idx := a.histFree; idx != 0 {
+		c := &a.histArena[idx]
+		a.histFree = c.next
+		*c = histChunk{}
+		return idx
+	}
+	if len(a.histArena) == 0 {
+		a.histArena = append(a.histArena, histChunk{})
+	}
+	a.histArena = append(a.histArena, histChunk{})
+	return int32(len(a.histArena) - 1)
+}
+
+// freeHist clears h and threads its chunk chain onto the free list for
+// reuse (a dirty hub node re-records a stream of comparable length every
+// epoch).
+func (a *Analyzer) freeHist(h *nodeHist) {
+	if h.head != 0 {
+		a.histArena[h.tail].next = a.histFree
+		a.histFree = h.head
+	}
+	*h = nodeHist{}
+}
+
+// resetHistArena empties the arena (keeping its capacity) for a fresh
+// from-scratch drain; every nodeHist referencing it must be zeroed by the
+// caller.
+func (a *Analyzer) resetHistArena() {
+	a.histArena = a.histArena[:0]
+	a.histFree = 0
 }
 
 type seedEvent struct {
@@ -181,77 +279,15 @@ type qkey struct {
 	tr   tech.Transition
 }
 
-// qitem is a pending propagation in the event heap, stamped with the
-// arrival time it was queued at (stale entries are skipped at pop).
-type qitem struct {
-	qkey
-	t float64
-}
-
-// eventHeap is a min-heap of pending propagations ordered by arrival time.
-// It implements sift-up/down directly on the slice rather than through
-// container/heap, so pushes and pops move qitem values without boxing
-// them into an interface (this is the innermost loop of every analysis).
-type eventHeap []qitem
-
-// qless is the heap's strict total order: arrival time, then (node,
-// transition) to break exact-time ties. A mere partial order on time
-// would let the pop order of tied events depend on the heap's internal
-// arrangement — i.e. on every unrelated event ever pushed — which makes
-// feedback-guard cutoffs irreproducible between a full run and an
-// incremental one. Node indexes are stable across incremental edits, so
-// this order is canonical for a given event set.
-func qless(a, b qitem) bool {
-	if a.t != b.t {
-		return a.t < b.t
-	}
-	if a.node != b.node {
-		return a.node < b.node
-	}
-	return a.tr < b.tr
-}
-
-// push inserts an item and restores the heap invariant.
-func (h *eventHeap) push(it qitem) {
-	*h = append(*h, it)
-	s := *h
-	i := len(s) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if !qless(s[i], s[p]) {
-			break
-		}
-		s[p], s[i] = s[i], s[p]
-		i = p
-	}
-}
-
-// pop removes and returns the earliest item. The heap must be non-empty.
-func (h *eventHeap) pop() qitem {
-	s := *h
-	top := s[0]
-	n := len(s) - 1
-	s[0] = s[n]
-	s = s[:n]
-	*h = s
-	i := 0
-	for {
-		l := 2*i + 1
-		if l >= n {
-			break
-		}
-		c := l
-		if r := l + 1; r < n && qless(s[r], s[l]) {
-			c = r
-		}
-		if !qless(s[c], s[i]) {
-			break
-		}
-		s[i], s[c] = s[c], s[i]
-		i = c
-	}
-	return top
-}
+// The pending-propagation queue is sched.Queue: a value-slice priority
+// queue under the strict total order sched.Less (arrival time, then node,
+// then transition). A mere partial order on time would let the pop order
+// of tied events depend on the queue's internal arrangement — i.e. on
+// every unrelated event ever pushed — which makes feedback-guard cutoffs
+// irreproducible between a full run and an incremental one. Node indexes
+// are stable across incremental edits, so this order is canonical for a
+// given event set. Entries are stamped with the arrival time they were
+// queued at; stale ones (superseded by a re-push) are skipped at pop.
 
 // New creates an analyzer for the network using the given delay model.
 func New(nw *netlist.Network, m delay.Model, opts Options) *Analyzer {
@@ -313,19 +349,28 @@ func (a *Analyzer) oracle() stage.Oracle {
 	if a.cachedOracle != nil {
 		return a.cachedOracle
 	}
+	// Conduction is a pure function of the settled static values, which are
+	// frozen for the lifetime of this oracle — precompute it per transistor
+	// so enumeration (which asks per edge of every path and side walk)
+	// indexes an array instead of re-deriving device behaviour.
+	conduct := make([]stage.Conduction, len(a.Net.Trans))
+	for i, t := range a.Net.Trans {
+		switch {
+		case t.AlwaysOn():
+			conduct[i] = stage.On
+		default:
+			g := a.static[t.Gate.Index]
+			if g == switchsim.VX {
+				conduct[i] = stage.Maybe
+			} else if g == switchsim.FromBool(t.ConductsOn() == 1) {
+				conduct[i] = stage.On
+			} else {
+				conduct[i] = stage.Off
+			}
+		}
+	}
 	a.cachedOracle = func(t *netlist.Trans) stage.Conduction {
-		if t.AlwaysOn() {
-			return stage.On
-		}
-		g := a.static[t.Gate.Index]
-		if g == switchsim.VX {
-			return stage.Maybe
-		}
-		on := switchsim.FromBool(t.ConductsOn() == 1)
-		if g == on {
-			return stage.On
-		}
-		return stage.Off
+		return conduct[t.Index]
 	}
 	return a.cachedOracle
 }
@@ -342,8 +387,10 @@ func (a *Analyzer) Run() error {
 	a.events = make([][2]Event, len(nw.Nodes))
 	a.count = make([][2]int, len(nw.Nodes))
 	a.hist = make([][2]nodeHist, len(nw.Nodes))
+	a.resetHistArena()
 	a.queued = make([][2]bool, len(nw.Nodes))
-	a.queue = make(eventHeap, 0, 4*len(nw.Nodes))
+	a.queue.Reset()
+	a.queue.Grow(4 * len(nw.Nodes))
 	a.buildGates()
 
 	if err := a.settleStatic(); err != nil {
@@ -367,27 +414,19 @@ func (a *Analyzer) Run() error {
 	}
 
 	a.seedAll()
-	a.drain()
+	a.drainRouted(nil)
 	return nil
 }
 
-// buildGates rebuilds the predecoded gate lists and the loop-break mask
-// for the current a.Net generation.
+// buildGates recompiles the structure-of-arrays network view and the
+// loop-break mask for the current a.Net generation.
 func (a *Analyzer) buildGates() {
 	nw := a.Net
 	a.loopBreak = make([]bool, len(nw.Nodes))
 	for _, n := range a.Opts.LoopBreak {
 		a.loopBreak[n.Index] = true
 	}
-	a.gates = make([][]gateRef, len(nw.Nodes))
-	for i, n := range nw.Nodes {
-		for _, t := range n.Gates {
-			if t.AlwaysOn() {
-				continue // depletion devices do not respond to their gate
-			}
-			a.gates[i] = append(a.gates[i], gateRef{t, t.ConductsOn() == 1})
-		}
-	}
+	a.cnet = netlist.Compile(nw)
 }
 
 // settleStatic computes the static sensitization snapshot for the current
@@ -465,9 +504,9 @@ func (a *Analyzer) drain() { a.drainReplay(nil) }
 // that recorded them.
 func (a *Analyzer) drainReplay(replays []replayItem) {
 	ri := 0
-	for len(a.queue) > 0 || ri < len(replays) {
-		if ri < len(replays) && (len(a.queue) == 0 ||
-			!qless(a.queue[0], qitem{qkey{replays[ri].node, replays[ri].tr}, replays[ri].t})) {
+	for a.queue.Len() > 0 || ri < len(replays) {
+		if ri < len(replays) && (a.queue.Len() == 0 ||
+			!sched.Less(a.queue.Peek(), sched.Item{T: replays[ri].t, Node: int32(replays[ri].node), Tr: uint8(replays[ri].tr)})) {
 			r := replays[ri]
 			ri++
 			a.propagateEvent(r.node, r.tr, Event{T: r.t, Slope: r.slope, Valid: true})
@@ -476,26 +515,27 @@ func (a *Analyzer) drainReplay(replays []replayItem) {
 		// Pop the earliest pending event: processing in time order makes
 		// most improvements final on first visit — longest-path over a
 		// DAG degenerates to one visit per node; reconvergence and
-		// cycles re-queue. The heap holds stale entries (an improvement
+		// cycles re-queue. The queue holds stale entries (an improvement
 		// re-pushes with the new time); only an entry matching the
 		// node's current arrival is live.
-		it := a.queue.pop()
-		if !a.queued[it.node][it.tr] || it.t != a.events[it.node][it.tr].T {
-			continue // stale: a fresher entry is in the heap
+		it := a.queue.Pop()
+		node, tr := int(it.Node), tech.Transition(it.Tr)
+		if !a.queued[node][tr] || it.T != a.events[node][tr].T {
+			continue // stale: a fresher entry is in the queue
 		}
-		a.queued[it.node][it.tr] = false
+		a.queued[node][tr] = false
 		// Feedback guard: counts propagation rounds, not improvements,
 		// so deep longest-path relaxation is unaffected while true
 		// cycles (which re-queue forever) are cut off.
-		a.count[it.node][it.tr]++
-		if a.count[it.node][it.tr] > a.Opts.MaxEventsPerNode {
-			if a.count[it.node][it.tr] == a.Opts.MaxEventsPerNode+1 {
-				a.Unbounded = append(a.Unbounded, a.Net.Nodes[it.node])
+		a.count[node][tr]++
+		if a.count[node][tr] > a.Opts.MaxEventsPerNode {
+			if a.count[node][tr] == a.Opts.MaxEventsPerNode+1 {
+				a.Unbounded = append(a.Unbounded, a.Net.Nodes[node])
 			}
 			continue
 		}
-		a.hist[it.node][it.tr].propagated = true
-		a.propagate(it.node, it.tr)
+		a.hist[node][tr].propagated = true
+		a.propagate(node, tr)
 	}
 }
 
@@ -529,8 +569,7 @@ func (a *Analyzer) improve(node int, tr tech.Transition, ev Event) bool {
 			return false
 		}
 	}
-	n := a.Net.Nodes[node]
-	if n.IsRail() {
+	if a.cnet.IsRail[node] {
 		return false
 	}
 	// Static pruning: a node pinned at a definite value cannot complete
@@ -542,7 +581,7 @@ func (a *Analyzer) improve(node int, tr tech.Transition, ev Event) bool {
 		if tr == tech.Fall {
 			want = switchsim.V0
 		}
-		if sv != switchsim.VX && sv != want && !n.Precharged {
+		if sv != switchsim.VX && sv != want && !a.cnet.Precharged[node] {
 			return false
 		}
 	}
@@ -552,25 +591,27 @@ func (a *Analyzer) improve(node int, tr tech.Transition, ev Event) bool {
 	// the superseding event may never propagate at all (the guard cuts the
 	// spin off), leaving the superseded one as the last influence the rest
 	// of the chip actually saw. Record every propagated-superseded event,
-	// pruning only entries dominated by the one being appended (it is
-	// itself replayed, so domination by it is safe), so an incremental
-	// re-analysis can replay exactly what a full run propagated.
+	// unpruned (see nodeHist), so an incremental re-analysis replays
+	// exactly the stream a full run propagated — including its length,
+	// which downstream feedback-guard counts depend on.
 	if cur.Valid {
 		h := &a.hist[node][tr]
 		if h.propagated {
-			f := h.frontier
-			for len(f) > 0 && f[len(f)-1].slope <= cur.Slope {
-				f = f[:len(f)-1]
-			}
-			h.frontier = append(f, histEvent{cur.T, cur.Slope})
+			a.appendHist(h, cur.T, cur.Slope)
 		}
 		h.propagated = false
 	}
+	// An equal-time improvement (slope/provenance tie-break) can reuse a
+	// live queue entry: the entry carries only (t, node, tr) and the event
+	// payload is read from a.events at pop time, so a duplicate push would
+	// just be skipped as stale. Everything else pushes: the queue tolerates
+	// stale entries, and a new arrival time needs its own priority.
+	samePriority := cur.Valid && ev.T == cur.T && a.queued[node][tr]
 	*cur = ev
-	// Always push: the heap tolerates stale entries (skipped at pop),
-	// and the new arrival time needs its own priority.
-	a.queued[node][tr] = true
-	a.queue.push(qitem{qkey{node, tr}, ev.T})
+	if !samePriority {
+		a.queued[node][tr] = true
+		a.queue.Push(sched.Item{T: ev.T, Node: int32(node), Tr: uint8(tr)})
+	}
 	return true
 }
 
@@ -584,8 +625,6 @@ func (a *Analyzer) propagate(node int, tr tech.Transition) {
 // passes historical ones: superseded events whose steeper slopes a full run
 // propagated before they were overwritten.
 func (a *Analyzer) propagateEvent(node int, tr tech.Transition, ev Event) {
-	nw := a.Net
-	n := nw.Nodes[node]
 	if a.loopBreak[node] {
 		return // user directive: record the arrival, cut the fanout
 	}
@@ -593,38 +632,29 @@ func (a *Analyzer) propagateEvent(node int, tr tech.Transition, ev Event) {
 		return
 	}
 
-	// 1. Gate consequences.
-	for _, g := range a.gates[node] {
-		t := g.t
-		turnsOn := (tr == tech.Rise) == g.on1
+	// 1. Gate consequences, via the database's compiled consequence lists:
+	// a turn-on evaluates every stage through the device (both target
+	// transitions); a turn-off releases every node channel-connected to the
+	// device — which may now drift toward its remaining drivers (the NAND
+	// output released by a mid-stack input sits several hops from the
+	// device itself) — with paths through the off device already filtered
+	// out. The lists preserve the nested enumeration order (through: Rise
+	// then Fall; release: group order, Rise before Fall per member), so the
+	// candidate sequence improve sees is unchanged.
+	cn := a.cnet
+	for _, ref := range cn.GateRef[cn.GateStart[node]:cn.GateStart[node+1]] {
+		ti, on1 := netlist.UnpackGateRef(ref)
+		turnsOn := (tr == tech.Rise) == on1
+		var stages []*stage.Stage
+		var trunc bool
 		if turnsOn {
-			for _, targetTr := range []tech.Transition{tech.Rise, tech.Fall} {
-				stages, trunc := a.db.Through(t, targetTr)
-				a.Truncated = a.Truncated || trunc
-				for _, st := range stages {
-					a.applyStage(st, node, tr, ev)
-				}
-			}
+			stages, trunc = a.db.TurnOnIdx(ti)
 		} else {
-			// Release: every node channel-connected to the switched-off
-			// device may drift toward its remaining drivers (the NAND
-			// output released by a mid-stack input sits several hops
-			// from the device itself). Drive paths are indexed per
-			// (node, transition) — NOT per switched-off device: the same
-			// path set serves every release of the group, with paths
-			// through the off device filtered at apply time.
-			for _, m := range a.db.Group(t) {
-				for _, targetTr := range []tech.Transition{tech.Rise, tech.Fall} {
-					stages, trunc := a.db.Release(m, targetTr)
-					a.Truncated = a.Truncated || trunc
-					for _, st := range stages {
-						if st.UsesTrans(t) {
-							continue // that path died with the device
-						}
-						a.applyStage(st, node, tr, ev)
-					}
-				}
-			}
+			stages, trunc = a.db.TurnOffIdx(ti)
+		}
+		a.Truncated = a.Truncated || trunc
+		for _, st := range stages {
+			a.applyStage(st, node, tr, ev)
 		}
 	}
 
@@ -634,8 +664,8 @@ func (a *Analyzer) propagateEvent(node int, tr tech.Transition, ev Event) {
 	// stages that produced their events already targeted every node of
 	// the driven group, and re-propagating would bounce arrivals back
 	// and forth across channel-connected pairs forever.
-	if n.Kind == netlist.KindInput && len(n.Terms) > 0 {
-		stages, trunc := a.db.From(n, tr)
+	if cn.IsInput[node] && cn.HasTerms[node] {
+		stages, trunc := a.db.From(a.Net.Nodes[node], tr)
 		a.Truncated = a.Truncated || trunc
 		for _, st := range stages {
 			a.applyStage(st, node, tr, ev)
@@ -673,8 +703,8 @@ func (a *Analyzer) stageStamp() string {
 func (a *Analyzer) applyStage(st *stage.Stage, fromNode int, fromTr tech.Transition, ev Event) {
 	// Source validity: an input-fed stage needs the source to plausibly
 	// hold the driving value; rails were filtered by the enumerator.
-	if st.Source.Kind == netlist.KindInput && !a.Opts.NoStaticPruning {
-		sv := a.static[st.Source.Index]
+	if si := st.SourceInputIndex(); si >= 0 && !a.Opts.NoStaticPruning {
+		sv := a.static[si]
 		want := switchsim.V1
 		if st.Transition == tech.Fall {
 			want = switchsim.V0

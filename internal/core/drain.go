@@ -1,0 +1,311 @@
+// Parallel intra-run drain: speculate in parallel, commit in order.
+//
+// The event loop's pop sequence is a pure function of the push multiset
+// (sched.Less is a strict total order), and evaluating one popped event's
+// consequences — stage enumeration plus delay-model evaluation — reads
+// only structures frozen during the drain (the compiled network, the stage
+// database, the static sensitization snapshot, the delay tables) plus the
+// event payload itself. That makes consequence generation speculatable:
+// carve a frontier of upcoming events off the queue, evaluate their
+// candidate lists on a worker pool, then commit the results serially in
+// strict queue order, validating each speculation against the state the
+// commits ahead of it produced.
+//
+// Three things can invalidate a speculation, and each is detected at
+// commit time:
+//
+//   - the popped entry went stale (an earlier commit improved the node to
+//     a later time, re-pushing it) — skipped, exactly as the serial loop
+//     skips stale entries;
+//   - the entry is still live but its payload changed (an equal-time
+//     tie-break improvement rewrote slope/provenance in place) — the item
+//     is re-propagated serially from the current payload;
+//   - an earlier commit pushed a new entry that precedes the rest of the
+//     batch in queue order — the remaining batch items are pushed back and
+//     the frontier re-formed, so the commit sequence never deviates from
+//     the serial pop sequence.
+//
+// The frontier is additionally fenced by a time span derived from the
+// smallest stage delay committed so far: a commit at time t can only queue
+// consequences at t+delay, so a frontier narrower than the minimum delay
+// is conflict-free and the validation above never fires. The span is a
+// throughput heuristic only — correctness rests on the commit-time checks.
+//
+// Every structure speculation reads concurrently is safe by construction:
+// stage-database entries build under sync.Once, evaluation memos install
+// via atomic pointers (duplicate builds produce identical values), and the
+// network, sensitization snapshot and delay tables are immutable during
+// the drain. With Workers <= 1 none of this runs — the analyzer takes the
+// plain serial loop in drainReplay.
+package core
+
+import (
+	"context"
+	"math"
+	"runtime/pprof"
+
+	"repro/internal/netlist"
+	"repro/internal/sched"
+	"repro/internal/stage"
+	"repro/internal/switchsim"
+	"repro/internal/tech"
+)
+
+// speculationBatch is the frontier size per worker: large enough to
+// amortize the pool's per-round channel hops over many evaluations, small
+// enough that a mid-batch preemption wastes little work.
+const speculationBatch = 48
+
+// specCand is one speculated improvement candidate: stage st yields an
+// arrival at time t with the given output slope. The target is the stage's
+// own (Target, Transition).
+type specCand struct {
+	st       *stage.Stage
+	t, slope float64
+}
+
+// specItem is one frontier slot: the popped queue entry (or replay item),
+// the event payload it was speculated with, and the speculation's results.
+type specItem struct {
+	key    sched.Item
+	ev     Event // payload at formation time; commit validates it is unchanged
+	replay bool  // replay items are always live and bypass counters
+	live   bool  // live at formation; stale slots skip speculation
+	trunc  bool
+	evals  int
+	cands  []specCand
+}
+
+// drainRouted runs the event loop on the configured drain: the serial loop
+// at one worker, the speculative parallel drain above it. Arrivals are
+// bit-identical either way.
+func (a *Analyzer) drainRouted(replays []replayItem) {
+	if w := Workers(a.Opts.Workers, 0); w > 1 {
+		a.drainParallel(replays, w)
+	} else {
+		a.drainReplay(replays)
+	}
+}
+
+// drainParallel is the speculate/validate/commit event loop.
+func (a *Analyzer) drainParallel(replays []replayItem, workers int) {
+	pool := sched.NewPool(workers)
+	defer pool.Close()
+	batchMax := speculationBatch * workers
+	if cap(a.spec) < batchMax {
+		a.spec = make([]specItem, batchMax)
+	}
+	a.spec = a.spec[:batchMax]
+	a.minDelay = math.Inf(1)
+	ri := 0
+	pprof.Do(context.Background(), pprof.Labels("subsystem", "sched", "phase", "drain"),
+		func(ctx context.Context) {
+			for a.queue.Len() > 0 || ri < len(replays) {
+				nb := a.formBatch(replays, &ri, batchMax)
+				if nb > 1 {
+					pool.Do("enumerate", func(w int) {
+						for i := w; i < nb; i += workers {
+							if s := &a.spec[i]; s.live {
+								a.speculate(s)
+							}
+						}
+					})
+				} else if a.spec[0].live {
+					a.speculate(&a.spec[0])
+				}
+				pprof.Do(ctx, pprof.Labels("phase", "commit"), func(context.Context) {
+					a.commitBatch(replays, &ri, nb)
+				})
+			}
+		})
+}
+
+// formBatch carves the next frontier off the queue (merged with pending
+// replay items in trigger-time order, replays winning ties — the serial
+// loop's merge rule) into a.spec, returning the slot count. The span fence
+// follows the smallest committed delay: a narrower frontier cannot
+// self-invalidate.
+func (a *Analyzer) formBatch(replays []replayItem, ri *int, batchMax int) int {
+	span := 0.0
+	if !math.IsInf(a.minDelay, 1) {
+		span = 0.5 * a.minDelay
+	}
+	if *ri >= len(replays) {
+		// Pure-queue frontier: PopFrontier carves the epoch in one pass.
+		a.fbuf = a.queue.PopFrontier(a.fbuf[:0], batchMax, span)
+		for i, it := range a.fbuf {
+			a.fillSpec(&a.spec[i], it)
+		}
+		return len(a.fbuf)
+	}
+	nb := 0
+	var head float64
+	for nb < batchMax && (a.queue.Len() > 0 || *ri < len(replays)) {
+		var key sched.Item
+		useReplay := false
+		if *ri < len(replays) {
+			r := replays[*ri]
+			key = sched.Item{T: r.t, Node: int32(r.node), Tr: uint8(r.tr)}
+			useReplay = a.queue.Len() == 0 || !sched.Less(a.queue.Peek(), key)
+		}
+		if !useReplay {
+			key = a.queue.Peek()
+		}
+		if nb == 0 {
+			head = key.T
+		} else if span > 0 && key.T > head+span {
+			break
+		}
+		s := &a.spec[nb]
+		if useReplay {
+			r := replays[*ri]
+			*ri++
+			*s = specItem{
+				key: key, ev: Event{T: r.t, Slope: r.slope, Valid: true},
+				replay: true, live: true, cands: s.cands,
+			}
+		} else {
+			a.queue.Pop()
+			a.fillSpec(s, key)
+		}
+		nb++
+	}
+	return nb
+}
+
+// fillSpec initializes one frontier slot from a popped queue entry,
+// snapshotting the live payload (stale entries stay unspeculated — they
+// can only be skipped or, rarely, revived by an in-batch tie-break, which
+// the commit's payload check routes to serial re-propagation).
+func (a *Analyzer) fillSpec(s *specItem, it sched.Item) {
+	node, tr := int(it.Node), int(it.Tr)
+	live := a.queued[node][tr] && it.T == a.events[node][tr].T
+	ev := Event{}
+	if live {
+		ev = a.events[node][tr]
+	}
+	*s = specItem{key: it, ev: ev, live: live, cands: s.cands}
+}
+
+// speculate evaluates one frontier slot's consequences into s.cands —
+// the same enumeration and evaluation propagateEvent performs, minus the
+// improve calls. Runs on pool workers; reads only drain-frozen state.
+func (a *Analyzer) speculate(s *specItem) {
+	s.cands = s.cands[:0]
+	s.evals = 0
+	s.trunc = false
+	node, tr := int(s.key.Node), tech.Transition(s.key.Tr)
+	if a.loopBreak[node] || !s.ev.Valid {
+		return
+	}
+	cn := a.cnet
+	for _, ref := range cn.GateRef[cn.GateStart[node]:cn.GateStart[node+1]] {
+		ti, on1 := netlist.UnpackGateRef(ref)
+		var stages []*stage.Stage
+		var trunc bool
+		if (tr == tech.Rise) == on1 {
+			stages, trunc = a.db.TurnOnIdx(ti)
+		} else {
+			stages, trunc = a.db.TurnOffIdx(ti)
+		}
+		s.trunc = s.trunc || trunc
+		for _, st := range stages {
+			a.specStage(s, st)
+		}
+	}
+	if cn.IsInput[node] && cn.HasTerms[node] {
+		stages, trunc := a.db.From(a.Net.Nodes[node], tr)
+		s.trunc = s.trunc || trunc
+		for _, st := range stages {
+			a.specStage(s, st)
+		}
+	}
+}
+
+// specStage is applyStage without the improve: filter, evaluate, record.
+func (a *Analyzer) specStage(s *specItem, st *stage.Stage) {
+	if si := st.SourceInputIndex(); si >= 0 && !a.Opts.NoStaticPruning {
+		sv := a.static[si]
+		want := switchsim.V1
+		if st.Transition == tech.Fall {
+			want = switchsim.V0
+		}
+		if sv != switchsim.VX && sv != want {
+			return
+		}
+	}
+	s.evals++
+	r := a.Model.Evaluate(a.Net, st, s.ev.Slope)
+	if math.IsNaN(r.Delay) || r.Delay < 0 {
+		return
+	}
+	s.cands = append(s.cands, specCand{st: st, t: s.ev.T + r.Delay, slope: r.Slope})
+}
+
+// commitBatch replays the frontier in strict queue order against live
+// state: exactly the serial loop's accounting (staleness skip, feedback
+// guard, history marking), with speculated candidate lists applied when
+// the payload is unchanged and serial re-propagation when it is not. A
+// commit that queues an entry preceding the rest of the batch preempts it:
+// the remaining slots are pushed back (replay slots rewound) and the
+// frontier re-forms.
+func (a *Analyzer) commitBatch(replays []replayItem, ri *int, nb int) {
+	for bi := 0; bi < nb; bi++ {
+		s := &a.spec[bi]
+		if s.replay {
+			a.applySpec(s)
+		} else {
+			node, tr := int(s.key.Node), tech.Transition(s.key.Tr)
+			switch {
+			case !a.queued[node][tr] || s.key.T != a.events[node][tr].T:
+				continue // stale: a fresher entry is in the queue
+			default:
+				a.queued[node][tr] = false
+				a.count[node][tr]++
+				if a.count[node][tr] > a.Opts.MaxEventsPerNode {
+					if a.count[node][tr] == a.Opts.MaxEventsPerNode+1 {
+						a.Unbounded = append(a.Unbounded, a.Net.Nodes[node])
+					}
+					continue
+				}
+				a.hist[node][tr].propagated = true
+				if s.live && a.events[node][tr] == s.ev {
+					a.applySpec(s)
+				} else {
+					// Payload changed under the speculation (equal-time
+					// tie-break) or the slot was stale at formation and a
+					// tie-break revived it: re-propagate from live state.
+					a.propagateEvent(node, tr, a.events[node][tr])
+				}
+			}
+		}
+		if bi+1 < nb && a.queue.Len() > 0 && sched.Less(a.queue.Peek(), a.spec[bi+1].key) {
+			for j := nb - 1; j > bi; j-- {
+				if a.spec[j].replay {
+					*ri--
+				} else {
+					a.queue.Push(a.spec[j].key)
+				}
+			}
+			return
+		}
+	}
+}
+
+// applySpec commits one validated speculation: the accounting and improve
+// calls the serial propagation would have made, in the same order.
+func (a *Analyzer) applySpec(s *specItem) {
+	a.stageEv += s.evals
+	a.Truncated = a.Truncated || s.trunc
+	node, tr := int(s.key.Node), tech.Transition(s.key.Tr)
+	for i := range s.cands {
+		c := &s.cands[i]
+		if d := c.t - s.ev.T; d > 0 && d < a.minDelay {
+			a.minDelay = d
+		}
+		a.improve(c.st.Target.Index, c.st.Transition, Event{
+			T: c.t, Slope: c.slope, Valid: true,
+			FromNode: node, FromTr: tr, Via: c.st,
+		})
+	}
+}

@@ -8,8 +8,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/incremental"
 	"repro/internal/netlist"
@@ -130,6 +131,10 @@ func (a *Analyzer) Reanalyze(edits []incremental.Edit) (*ReanalyzeStats, error) 
 
 // dirtyTouchesUnbounded reports whether any node the previous analysis
 // left on the feedback guard is inside the invalidation plan's dirty cone.
+// Guard hits wholly outside the cone are safe to carry: their groups'
+// event streams are frozen, and replay reproduces the complete propagated
+// stream (see nodeHist) — including its length, so downstream guard
+// counts re-accumulate exactly.
 func (a *Analyzer) dirtyTouchesUnbounded(plan *incremental.Plan) bool {
 	for _, n := range a.Unbounded {
 		if plan.NodeDirty(n.Index) {
@@ -161,14 +166,16 @@ func (a *Analyzer) runFull() {
 	a.events = make([][2]Event, len(nw.Nodes))
 	a.count = make([][2]int, len(nw.Nodes))
 	a.hist = make([][2]nodeHist, len(nw.Nodes))
+	a.resetHistArena()
 	a.queued = make([][2]bool, len(nw.Nodes))
-	a.queue = make(eventHeap, 0, 4*len(nw.Nodes))
+	a.queue.Reset()
+	a.queue.Grow(4 * len(nw.Nodes))
 	a.Unbounded = nil
 	if w := Workers(a.Opts.Workers, 0); w > 1 {
 		a.db.Prewarm(w)
 	}
 	a.seedAll()
-	a.drain()
+	a.drainRouted(nil)
 }
 
 // runIncremental resets only the dirty arrivals and re-propagates from the
@@ -204,11 +211,13 @@ func (a *Analyzer) runIncremental(plan *incremental.Plan) int {
 		if plan.NodeDirty(i) {
 			a.events[i] = [2]Event{}
 			a.count[i] = [2]int{}
-			a.hist[i] = [2]nodeHist{}
+			for tr := range a.hist[i] {
+				a.freeHist(&a.hist[i][tr])
+			}
 			a.queued[i] = [2]bool{}
 		}
 	}
-	a.queue = a.queue[:0]
+	a.queue.Reset()
 	// Carry over guard hits outside the dirty cone (remapped to the new
 	// generation — node indexes are stable). Clean nodes never re-enter the
 	// heap, so they cannot re-report themselves; dropping them would make
@@ -236,8 +245,9 @@ func (a *Analyzer) runIncremental(plan *incremental.Plan) int {
 			continue
 		}
 		touches := false
-		for _, g := range a.gates[i] {
-			if plan.TransTouchesDirty(g.t) {
+		for _, ref := range a.cnet.Gates(i) {
+			ti, _ := netlist.UnpackGateRef(ref)
+			if plan.TransTouchesDirty(nw.Trans[ti]) {
 				touches = true
 				break
 			}
@@ -250,22 +260,26 @@ func (a *Analyzer) runIncremental(plan *incremental.Plan) int {
 		}
 		for _, tr := range []tech.Transition{tech.Rise, tech.Fall} {
 			h := &a.hist[i][tr]
-			for _, he := range h.frontier {
-				replays = append(replays, replayItem{i, tr, he.t, he.slope})
+			for ci := h.head; ci != 0; ci = a.histArena[ci].next {
+				c := &a.histArena[ci]
+				for k := int32(0); k < c.n; k++ {
+					replays = append(replays, replayItem{i, tr, c.ev[k].t, c.ev[k].slope})
+				}
 			}
 			if ev := a.events[i][tr]; ev.Valid && h.propagated {
 				replays = append(replays, replayItem{i, tr, ev.T, ev.Slope})
 			}
 		}
 	}
-	sort.Slice(replays, func(x, y int) bool {
-		if replays[x].t != replays[y].t {
-			return replays[x].t < replays[y].t
+	slices.SortFunc(replays, func(x, y replayItem) int {
+		switch {
+		case x.t != y.t:
+			return cmp.Compare(x.t, y.t)
+		case x.node != y.node:
+			return cmp.Compare(x.node, y.node)
+		default:
+			return cmp.Compare(x.tr, y.tr)
 		}
-		if replays[x].node != replays[y].node {
-			return replays[x].node < replays[y].node
-		}
-		return replays[x].tr < replays[y].tr
 	})
 	// Seeds on dirty nodes: an input is a strong source and never dirty,
 	// but re-applying is cheap and covers any seed landing on a node the
@@ -277,6 +291,6 @@ func (a *Analyzer) runIncremental(plan *incremental.Plan) int {
 			})
 		}
 	}
-	a.drainReplay(replays)
+	a.drainRouted(replays)
 	return len(carried)
 }

@@ -56,6 +56,9 @@ func (m *Lumped) Name() string { return "lumped" }
 
 // Evaluate implements Model: delay = ΣR × ΣC.
 func (m *Lumped) Evaluate(nw *netlist.Network, st *stage.Stage, _ float64) Result {
+	if memo := memoFor(m.T, nw, st); memo != nil {
+		return memo.lumpedResult()
+	}
 	r := 0.0
 	for _, e := range st.Path {
 		r += elemR(m.T, e.Trans, st.Transition)
@@ -86,6 +89,9 @@ func (m *RC) Name() string { return "rc" }
 
 // Evaluate implements Model.
 func (m *RC) Evaluate(nw *netlist.Network, st *stage.Stage, _ float64) Result {
+	if memo := memoFor(m.T, nw, st); memo != nil {
+		return memo.rcResult()
+	}
 	d := m.elmoreAt(nw, st, -1, 1)
 	tf := math.Log(9)
 	if drv := driverElement(st); drv >= 0 {
@@ -301,6 +307,11 @@ func (m *Slope) Name() string { return "slope" }
 // intrinsic Elmore pass records its per-element terms, and the scaled
 // delay (driver resistance × slope multiplier) is replayed from them.
 func (m *Slope) Evaluate(nw *netlist.Network, st *stage.Stage, inSlope float64) Result {
+	if memo := memoFor(m.T, nw, st); memo != nil {
+		if res, ok := memo.slopeResult(inSlope); ok {
+			return res
+		}
+	}
 	rcModel := RC{T: m.T}
 	drv := driverElement(st)
 	// The driver is usually at or near the source, so only a handful of

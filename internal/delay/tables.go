@@ -59,24 +59,60 @@ func (c *Curve) interp(ys []float64, r float64) float64 {
 	return y0 + (y1-y0)*(r-x0)/(x1-x0)
 }
 
-// MultAt returns the effective-resistance multiplier at slope ratio r,
-// floored at a small positive value so stage delays stay positive.
-func (c *Curve) MultAt(r float64) float64 {
-	m := c.interp(c.RMult, r)
+// At returns MultAt(r) and TFactorAt(r) together, locating the
+// interpolation segment once instead of once per curve. The arithmetic
+// matches interp term for term, so the results are bit-identical to the
+// individual accessors — this is the slope model's innermost lookup.
+func (c *Curve) At(r float64) (mult, tfactor float64) {
+	n := len(c.Ratio)
+	if n == 0 {
+		return flooredMult(1), flooredTFactor(1)
+	}
+	if r <= c.Ratio[0] {
+		return flooredMult(c.RMult[0]), flooredTFactor(c.TFactor[0])
+	}
+	i := sort.SearchFloat64s(c.Ratio, r)
+	if i >= n {
+		if n == 1 {
+			return flooredMult(c.RMult[0]), flooredTFactor(c.TFactor[0])
+		}
+		i = n - 1
+	}
+	x0, x1 := c.Ratio[i-1], c.Ratio[i]
+	if x1 == x0 {
+		return flooredMult(c.RMult[i]), flooredTFactor(c.TFactor[i])
+	}
+	m0, m1 := c.RMult[i-1], c.RMult[i]
+	f0, f1 := c.TFactor[i-1], c.TFactor[i]
+	mult = flooredMult(m0 + (m1-m0)*(r-x0)/(x1-x0))
+	tfactor = flooredTFactor(f0 + (f1-f0)*(r-x0)/(x1-x0))
+	return mult, tfactor
+}
+
+func flooredMult(m float64) float64 {
 	if m < 0.05 {
 		m = 0.05
 	}
 	return m
 }
 
-// TFactorAt returns the output-transition factor at slope ratio r, floored
-// at a small positive value.
-func (c *Curve) TFactorAt(r float64) float64 {
-	f := c.interp(c.TFactor, r)
+func flooredTFactor(f float64) float64 {
 	if f < 0.1 {
 		f = 0.1
 	}
 	return f
+}
+
+// MultAt returns the effective-resistance multiplier at slope ratio r,
+// floored at a small positive value so stage delays stay positive.
+func (c *Curve) MultAt(r float64) float64 {
+	return flooredMult(c.interp(c.RMult, r))
+}
+
+// TFactorAt returns the output-transition factor at slope ratio r, floored
+// at a small positive value.
+func (c *Curve) TFactorAt(r float64) float64 {
+	return flooredTFactor(c.interp(c.TFactor, r))
 }
 
 // Validate checks monotone ratios and consistent lengths.

@@ -1,0 +1,84 @@
+package netlist
+
+// Compact is the compiled structure-of-arrays form of a network: the
+// fields the analyzer's event loop reads per event, flattened into dense
+// index-keyed arrays. The pointer graph (Node/Trans structs) is the
+// construction and reporting representation; the drain loop touches
+// millions of events on a chip-scale run, and chasing Node→Gates→Trans
+// pointers per event costs more cache misses than the arithmetic it feeds.
+// A Compact is a snapshot: compile it after the network is fully built,
+// and recompile after edits (generations never mutate a compiled network).
+type Compact struct {
+	// GateStart/GateRef are the CSR adjacency of gate connections:
+	// GateRef[GateStart[n]:GateStart[n+1]] lists the gated devices of node
+	// n, each packed as trans index << 1 | conductsOn1. Always-on devices
+	// (depletion loads, wires) are omitted — they do not respond to their
+	// gate, which is exactly the filter the event loop wants predecoded.
+	GateStart []int32
+	GateRef   []int32
+
+	// Per-node flags the drain's improve/propagate steps test.
+	IsRail     []bool
+	IsInput    []bool
+	Precharged []bool
+	// HasTerms marks nodes with at least one channel terminal (an input
+	// transition rides through conducting pass devices only if some device
+	// touches it).
+	HasTerms []bool
+}
+
+// PackGateRef packs a gate adjacency entry.
+func PackGateRef(transIndex int, conductsOn1 bool) int32 {
+	r := int32(transIndex) << 1
+	if conductsOn1 {
+		r |= 1
+	}
+	return r
+}
+
+// UnpackGateRef unpacks a gate adjacency entry into the transistor index
+// and its conduction polarity (true when the device conducts while its
+// gate is high).
+func UnpackGateRef(r int32) (transIndex int, conductsOn1 bool) {
+	return int(r >> 1), r&1 == 1
+}
+
+// Compile builds the compact form of nw.
+func Compile(nw *Network) *Compact {
+	c := &Compact{
+		GateStart:  make([]int32, len(nw.Nodes)+1),
+		IsRail:     make([]bool, len(nw.Nodes)),
+		IsInput:    make([]bool, len(nw.Nodes)),
+		Precharged: make([]bool, len(nw.Nodes)),
+		HasTerms:   make([]bool, len(nw.Nodes)),
+	}
+	total := 0
+	for _, n := range nw.Nodes {
+		for _, t := range n.Gates {
+			if !t.AlwaysOn() {
+				total++
+			}
+		}
+	}
+	c.GateRef = make([]int32, 0, total)
+	for i, n := range nw.Nodes {
+		c.GateStart[i] = int32(len(c.GateRef))
+		for _, t := range n.Gates {
+			if t.AlwaysOn() {
+				continue
+			}
+			c.GateRef = append(c.GateRef, PackGateRef(t.Index, t.ConductsOn() == 1))
+		}
+		c.IsRail[i] = n.IsRail()
+		c.IsInput[i] = n.Kind == KindInput
+		c.Precharged[i] = n.Precharged
+		c.HasTerms[i] = len(n.Terms) > 0
+	}
+	c.GateStart[len(nw.Nodes)] = int32(len(c.GateRef))
+	return c
+}
+
+// Gates returns the packed gate refs of node n.
+func (c *Compact) Gates(n int) []int32 {
+	return c.GateRef[c.GateStart[n]:c.GateStart[n+1]]
+}

@@ -1,0 +1,32 @@
+package sched
+
+// PopFrontier pops a frontier batch: up to max items in strict queue
+// order, stopping early when the next item's time is more than span past
+// the first item's (span <= 0 disables the time fence). The batch is
+// appended to dst (reset to length zero first) and returned.
+//
+// The frontier is the unit of speculation for a parallel drain: its items
+// are evaluated concurrently against a snapshot of the arrival state, then
+// committed one by one in this exact order, re-validating each item's
+// inputs at commit time. Epoch fencing by span does not affect the result
+// — validation catches any cross-item dependence — it only bounds how much
+// speculative work a dependence can discard: events bunched at one time
+// epoch rarely feed each other (a consequence lands strictly later than
+// its cause unless the stage delay is zero), while a batch spanning a long
+// stretch of the timeline speculates far ahead of anything it may dirty.
+func (q *Queue) PopFrontier(dst []Item, max int, span float64) []Item {
+	dst = dst[:0]
+	if max <= 0 || q.Len() == 0 {
+		return dst
+	}
+	first := q.Pop()
+	dst = append(dst, first)
+	fence := first.T + span
+	for len(dst) < max && q.Len() > 0 {
+		if span > 0 && q.Peek().T > fence {
+			break
+		}
+		dst = append(dst, q.Pop())
+	}
+	return dst
+}

@@ -1,0 +1,80 @@
+package sched
+
+import (
+	"context"
+	"runtime/pprof"
+	"strconv"
+	"sync"
+)
+
+// Pool is a set of persistent worker goroutines for the drain's parallel
+// phases. Workers are spawned once and reused every round, so the
+// per-frontier cost is two channel hops per worker, not a goroutine spawn.
+//
+// Every worker goroutine carries pprof labels — worker=<id> permanently,
+// phase=<name> for the duration of each round — so CPU profiles of a
+// parallel analysis break down by drain phase (see docs/PERFORMANCE.md).
+type Pool struct {
+	workers int
+	rounds  []chan round
+	wg      sync.WaitGroup
+}
+
+type round struct {
+	phase string
+	fn    func(worker int)
+	done  *sync.WaitGroup
+}
+
+// NewPool starts n workers (minimum 1). Close must be called to release
+// them.
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{workers: n, rounds: make([]chan round, n)}
+	for w := 0; w < n; w++ {
+		p.rounds[w] = make(chan round, 1)
+		p.wg.Add(1)
+		go p.worker(w)
+	}
+	return p
+}
+
+// Workers returns the worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+func (p *Pool) worker(w int) {
+	defer p.wg.Done()
+	base := pprof.Labels("subsystem", "sched", "worker", strconv.Itoa(w))
+	pprof.Do(context.Background(), base, func(ctx context.Context) {
+		for r := range p.rounds[w] {
+			pprof.Do(ctx, pprof.Labels("phase", r.phase), func(context.Context) {
+				r.fn(w)
+			})
+			r.done.Done()
+		}
+	})
+}
+
+// Do runs fn once per worker concurrently (fn receives the worker id) and
+// waits for all of them. The phase string becomes the workers' pprof
+// "phase" label for the duration. Do must not be called concurrently with
+// itself or Close.
+func (p *Pool) Do(phase string, fn func(worker int)) {
+	var done sync.WaitGroup
+	done.Add(p.workers)
+	r := round{phase: phase, fn: fn, done: &done}
+	for w := 0; w < p.workers; w++ {
+		p.rounds[w] <- r
+	}
+	done.Wait()
+}
+
+// Close stops the workers and waits for them to exit.
+func (p *Pool) Close() {
+	for w := 0; w < p.workers; w++ {
+		close(p.rounds[w])
+	}
+	p.wg.Wait()
+}

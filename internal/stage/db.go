@@ -46,6 +46,26 @@ type DB struct {
 	from    []*dbEntry    // (node, transition) → stages fanning out of the node
 	groups  []*groupEntry // trans → channel-connected group
 
+	// turnOn / turnOff are the compiled consequence lists the event loop
+	// consumes: per transistor, the full flat sequence of stages a
+	// turn-on (through-stages, both transitions) or a turn-off (release
+	// stages of every group member, paths through the device filtered
+	// out) triggers, in exactly the order the nested per-entry iteration
+	// produces. One slice walk replaces a group walk plus four memoized
+	// lookups plus a per-stage membership filter per event. Always
+	// rebuilt fresh by Derive (they are cheap concatenations of the
+	// underlying — possibly shared — entries).
+	turnOn  []*dbEntry // trans → compiled turn-on stages
+	turnOff []*dbEntry // trans → compiled turn-off stages
+
+	// capsOnce/caps snapshot NodeCap over the whole (immutable) network on
+	// first enumeration, so stage construction — which reads node loading
+	// once per path node and once per side branch, across hundreds of
+	// thousands of stages — indexes a float array instead of re-walking
+	// adjacency lists.
+	capsOnce sync.Once
+	caps     []float64
+
 	truncated atomic.Bool
 }
 
@@ -93,6 +113,8 @@ func NewDB(nw *netlist.Network, opt Options) *DB {
 		release: newEntries(2 * len(nw.Nodes)),
 		from:    newEntries(2 * len(nw.Nodes)),
 		groups:  newGroupEntries(len(nw.Trans)),
+		turnOn:  newEntries(len(nw.Trans)),
+		turnOff: newEntries(len(nw.Trans)),
 	}
 }
 
@@ -104,12 +126,28 @@ func (db *DB) Network() *netlist.Network { return db.nw }
 // every analysis that touched it.
 func (db *DB) Truncated() bool { return db.truncated.Load() }
 
+// enumOpt returns the enumeration options with the node-capacitance
+// snapshot installed (built on first use — the network is immutable for
+// the database's lifetime, so one sweep serves every enumeration).
+func (db *DB) enumOpt() Options {
+	db.capsOnce.Do(func() {
+		caps := make([]float64, len(db.nw.Nodes))
+		for i, n := range db.nw.Nodes {
+			caps[i] = db.nw.NodeCap(n)
+		}
+		db.caps = caps
+	})
+	o := db.opt
+	o.caps = db.caps
+	return o
+}
+
 // Through returns the stages created when transistor t becomes conducting,
 // targeting transition tr, plus whether that enumeration was truncated.
 func (db *DB) Through(t *netlist.Trans, tr tech.Transition) ([]*Stage, bool) {
 	e := db.through[2*t.Index+int(tr)]
 	e.once.Do(func() {
-		res := Through(db.nw, t, tr, db.opt)
+		res := Through(db.nw, t, tr, db.enumOpt())
 		e.stages, e.trunc = res.Stages, res.Truncated
 		if res.Truncated {
 			db.truncated.Store(true)
@@ -123,7 +161,7 @@ func (db *DB) Through(t *netlist.Trans, tr tech.Transition) ([]*Stage, bool) {
 func (db *DB) Release(n *netlist.Node, tr tech.Transition) ([]*Stage, bool) {
 	e := db.release[2*n.Index+int(tr)]
 	e.once.Do(func() {
-		res := ToNode(db.nw, n, tr, db.opt)
+		res := ToNode(db.nw, n, tr, db.enumOpt())
 		e.stages, e.trunc = res.Stages, res.Truncated
 		if res.Truncated {
 			db.truncated.Store(true)
@@ -137,11 +175,89 @@ func (db *DB) Release(n *netlist.Node, tr tech.Transition) ([]*Stage, bool) {
 func (db *DB) From(n *netlist.Node, tr tech.Transition) ([]*Stage, bool) {
 	e := db.from[2*n.Index+int(tr)]
 	e.once.Do(func() {
-		res := FromNode(db.nw, n, tr, db.opt)
+		res := FromNode(db.nw, n, tr, db.enumOpt())
 		e.stages, e.trunc = res.Stages, res.Truncated
 		if res.Truncated {
 			db.truncated.Store(true)
 		}
+	})
+	return e.stages, e.trunc
+}
+
+// TurnOn returns the compiled turn-on consequence list of transistor t:
+// the stages created when t becomes conducting, for both target
+// transitions (Rise stages first), in the order the underlying Through
+// entries enumerate them, plus cumulative truncation.
+func (db *DB) TurnOn(t *netlist.Trans) ([]*Stage, bool) {
+	return db.TurnOnIdx(t.Index)
+}
+
+// TurnOnIdx is TurnOn by transistor index (the compiled-network hot path).
+func (db *DB) TurnOnIdx(ti int) ([]*Stage, bool) {
+	e := db.turnOn[ti]
+	e.once.Do(func() {
+		t := db.nw.Trans[ti]
+		rise, tr1 := db.Through(t, tech.Rise)
+		fall, tr2 := db.Through(t, tech.Fall)
+		e.trunc = tr1 || tr2
+		if len(fall) == 0 {
+			e.stages = rise // share the underlying entry's slice
+		} else if len(rise) == 0 {
+			e.stages = fall
+		} else {
+			e.stages = make([]*Stage, 0, len(rise)+len(fall))
+			e.stages = append(e.stages, rise...)
+			e.stages = append(e.stages, fall...)
+		}
+	})
+	return e.stages, e.trunc
+}
+
+// TurnOff returns the compiled turn-off consequence list of transistor t:
+// for every node the turn-off releases (the channel group), the stages
+// that could still drive it — paths through t itself filtered out — in
+// group order, Rise before Fall per member, plus cumulative truncation.
+func (db *DB) TurnOff(t *netlist.Trans) ([]*Stage, bool) {
+	return db.TurnOffIdx(t.Index)
+}
+
+// TurnOffIdx is TurnOff by transistor index.
+func (db *DB) TurnOffIdx(ti int) ([]*Stage, bool) {
+	e := db.turnOff[ti]
+	e.once.Do(func() {
+		t := db.nw.Trans[ti]
+		group := db.Group(t)
+		// Count first, then fill exactly: these lists are the largest
+		// compiled structure in the database, and append-doubling across
+		// tens of thousands of transistors wastes real memory.
+		n := 0
+		for _, m := range group {
+			for _, tr := range []tech.Transition{tech.Rise, tech.Fall} {
+				stages, trunc := db.Release(m, tr)
+				e.trunc = e.trunc || trunc
+				for _, st := range stages {
+					if !st.UsesTrans(t) {
+						n++
+					}
+				}
+			}
+		}
+		if n == 0 {
+			return
+		}
+		out := make([]*Stage, 0, n)
+		for _, m := range group {
+			for _, tr := range []tech.Transition{tech.Rise, tech.Fall} {
+				stages, _ := db.Release(m, tr)
+				for _, st := range stages {
+					if st.UsesTrans(t) {
+						continue // that path died with the device
+					}
+					out = append(out, st)
+				}
+			}
+		}
+		e.stages = out
 	})
 	return e.stages, e.trunc
 }
@@ -189,6 +305,8 @@ func (db *DB) Derive(nw *netlist.Network, opt Options, dirtyTrans, dirtyNode []b
 		release: newEntries(2 * len(nw.Nodes)),
 		from:    newEntries(2 * len(nw.Nodes)),
 		groups:  newGroupEntries(len(nw.Trans)),
+		turnOn:  newEntries(len(nw.Trans)),
+		turnOff: newEntries(len(nw.Trans)),
 	}
 	// Conservative: a truncated enumeration in a shared entry stays
 	// truncated in the new generation.
@@ -206,6 +324,13 @@ func (db *DB) Derive(nw *netlist.Network, opt Options, dirtyTrans, dirtyNode []b
 		next.through[2*j] = db.through[2*old]
 		next.through[2*j+1] = db.through[2*old+1]
 		next.groups[j] = db.groups[old]
+		// The compiled turn-on list depends only on the two through
+		// entries, so it shares under the same condition. The turn-off
+		// list also depends on the release entries of every group member,
+		// whose dirtiness this loop cannot see — it is rebuilt lazily in
+		// the new generation (a cheap concatenation of entries that are
+		// themselves shared when clean).
+		next.turnOn[j] = db.turnOn[old]
 	}
 	oldNodes := len(db.nw.Nodes)
 	for j := range nw.Nodes {
@@ -304,14 +429,8 @@ func (db *DB) Prewarm(workers int) {
 				if t.AlwaysOn() {
 					continue
 				}
-				for _, tr := range []tech.Transition{tech.Rise, tech.Fall} {
-					db.Through(t, tr)
-				}
-				for _, m := range db.Group(t) {
-					for _, tr := range []tech.Transition{tech.Rise, tech.Fall} {
-						db.Release(m, tr)
-					}
-				}
+				db.TurnOnIdx(i)  // builds both Through entries
+				db.TurnOffIdx(i) // builds the group and its Release entries
 			}
 		}()
 	}

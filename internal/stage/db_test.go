@@ -84,6 +84,54 @@ func TestDBMatchesDirectEnumeration(t *testing.T) {
 	}
 }
 
+// TestDBCompiledConsequenceLists pins the compiled TurnOn/TurnOff lists to
+// the reference nested enumeration the event loop used to perform inline:
+// turn-on is Through(t, Rise) then Through(t, Fall); turn-off walks the
+// released group in order, Rise before Fall per member, with paths through
+// the device itself filtered out. The lists exist so the drain does one
+// slice walk per gate event — but the order of candidates (which fixes
+// tie-breaking and therefore provenance) must be exactly the reference's.
+func TestDBCompiledConsequenceLists(t *testing.T) {
+	nw, _, _ := passNet()
+	db := NewDB(nw, Options{})
+	for _, tx := range nw.Trans {
+		gotOn, truncOn := db.TurnOn(tx)
+		rise, tr1 := db.Through(tx, tech.Rise)
+		fall, tr2 := db.Through(tx, tech.Fall)
+		wantOn := append(append([]*Stage{}, rise...), fall...)
+		if truncOn != (tr1 || tr2) || !sameStages(gotOn, wantOn) {
+			t.Errorf("TurnOn(%s): compiled list disagrees with Through enumeration", tx.Gate.Name)
+		}
+
+		gotOff, _ := db.TurnOff(tx)
+		var wantOff []*Stage
+		for _, m := range db.Group(tx) {
+			for _, tr := range []tech.Transition{tech.Rise, tech.Fall} {
+				stages, _ := db.Release(m, tr)
+				for _, st := range stages {
+					if !st.UsesTrans(tx) {
+						wantOff = append(wantOff, st)
+					}
+				}
+			}
+		}
+		if !sameStages(gotOff, wantOff) {
+			t.Errorf("TurnOff(%s): compiled list disagrees with group/Release enumeration", tx.Gate.Name)
+		}
+		for _, st := range gotOff {
+			if st.UsesTrans(tx) {
+				t.Errorf("TurnOff(%s): list contains a path through the off device", tx.Gate.Name)
+			}
+		}
+	}
+	// Cached: repeated calls hand back the identical slices.
+	first, _ := db.TurnOffIdx(0)
+	second, _ := db.TurnOffIdx(0)
+	if len(first) > 0 && &first[0] != &second[0] {
+		t.Error("TurnOffIdx re-built a cached list")
+	}
+}
+
 func TestDBGroup(t *testing.T) {
 	nw, _, out := passNet()
 	db := NewDB(nw, Options{})

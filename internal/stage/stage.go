@@ -12,6 +12,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/netlist"
 	"repro/internal/rctree"
@@ -95,7 +97,34 @@ type Stage struct {
 	// a hand-built stage.
 	driver    int
 	driverSet bool
+	// srcInput caches Source.Index+1 when the source is a chip input, 0
+	// otherwise (or on hand-built stages, which fall back to the pointer).
+	// The analyzer's per-evaluation source-validity check reads this
+	// instead of dereferencing Source.
+	srcInput int32
+
+	// memo is an opaque slot for delay-model evaluation constants. An
+	// enumerated stage is immutable (finish freezes its loading into
+	// PathCap/Side), so everything a model derives from it other than the
+	// input slope is a per-stage constant; models stash those here keyed
+	// by their own table identity. Concurrent stores race benignly: the
+	// value is a pure function of the (stage, tables) pair, so every
+	// writer stores identical contents.
+	memo atomic.Pointer[any]
 }
+
+// Memo returns the cached evaluation constants stored by SetMemo, or nil.
+// Callers must validate the value's key (e.g. a table pointer) themselves.
+func (s *Stage) Memo() any {
+	if p := s.memo.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// SetMemo stores evaluation constants for Memo to return. Safe for
+// concurrent use.
+func (s *Stage) SetMemo(m any) { s.memo.Store(&m) }
 
 // finish computes the derived loading fields (side loads, path caps).
 func (s *Stage) finish(nw *netlist.Network, opt Options) {
@@ -106,7 +135,7 @@ func (s *Stage) finish(nw *netlist.Network, opt Options) {
 	s.sideSorted = true
 	s.PathCap = make([]float64, len(s.Path))
 	for i, e := range s.Path {
-		s.PathCap[i] = nw.NodeCap(e.To)
+		s.PathCap[i] = opt.nodeCap(nw, e.To)
 		s.pathBloom |= 1 << (uint(e.Trans.Index) & 63)
 	}
 	s.driver = 0
@@ -119,6 +148,9 @@ func (s *Stage) finish(nw *netlist.Network, opt Options) {
 		}
 	}
 	s.driverSet = true
+	if s.Source.Kind == netlist.KindInput {
+		s.srcInput = int32(s.Source.Index) + 1
+	}
 }
 
 // Driver returns the precomputed driver element index and whether it was
@@ -128,6 +160,19 @@ func (s *Stage) Driver() (int, bool) { return s.driver, s.driverSet }
 // SideSorted reports whether Side is sorted by ascending Attach (true for
 // every enumerated stage; hand-assembled stages may not be).
 func (s *Stage) SideSorted() bool { return s.sideSorted }
+
+// SourceInputIndex returns the node index of the stage's source when that
+// source is a chip input, and -1 otherwise. Enumerated stages answer from
+// a cached field; hand-assembled ones fall back to the source node.
+func (s *Stage) SourceInputIndex() int {
+	if s.srcInput > 0 {
+		return int(s.srcInput) - 1
+	}
+	if !s.driverSet && s.Source != nil && s.Source.Kind == netlist.KindInput {
+		return s.Source.Index
+	}
+	return -1
+}
 
 // UsesTrans reports whether the stage's path runs through transistor t.
 // The bloom filter rejects most queries without touching the path.
@@ -243,6 +288,21 @@ type Options struct {
 	// MaxPaths bounds the number of source paths enumerated per query
 	// (default 256). Overflow is reported via Truncated.
 	MaxPaths int
+
+	// caps, when non-nil, is a node-index-keyed snapshot of NodeCap over
+	// the (immutable) network being enumerated. The database installs it so
+	// stage construction reads a float instead of re-walking adjacency
+	// lists per node; direct enumeration calls leave it nil and fall back.
+	caps []float64
+}
+
+// nodeCap returns the total capacitance loading n, from the snapshot when
+// one is installed.
+func (o *Options) nodeCap(nw *netlist.Network, n *netlist.Node) float64 {
+	if o.caps != nil {
+		return o.caps[n.Index]
+	}
+	return nw.NodeCap(n)
 }
 
 // Fill returns the options with defaults applied (the exported form, used
@@ -350,41 +410,70 @@ func buildStage(nw *netlist.Network, source, target *netlist.Node, rev []Element
 	return st
 }
 
+// slQent is one pending BFS visit of the side-load walk.
+type slQent struct {
+	n      *netlist.Node
+	attach int
+	r      float64
+}
+
+// slScratch is the recycled working set of sideLoads: epoch-stamped marks
+// keyed by node/transistor index instead of per-call maps. sideLoads runs
+// once per enumerated stage — hundreds of thousands of times on a chip —
+// and two fresh maps per call (visited nodes, path membership) dominated
+// the whole enumeration in both time and garbage. A stamp match replaces
+// the map hit; bumping the stamp replaces clearing.
+type slScratch struct {
+	stamp     uint32
+	nodeStamp []uint32 // node index → stamp when last visited
+	transOn   []uint32 // trans index → stamp when on the current path
+	q         []slQent
+}
+
+var slPool sync.Pool
+
+// next readies the scratch for one sideLoads call over nw.
+func (s *slScratch) next(nw *netlist.Network) {
+	if len(s.nodeStamp) < len(nw.Nodes) {
+		s.nodeStamp = make([]uint32, len(nw.Nodes))
+	}
+	if len(s.transOn) < len(nw.Trans) {
+		s.transOn = make([]uint32, len(nw.Trans))
+	}
+	s.stamp++
+	if s.stamp == 0 { // wrapped: marks are ambiguous, start over
+		clear(s.nodeStamp)
+		clear(s.transOn)
+		s.stamp = 1
+	}
+	s.q = s.q[:0]
+}
+
 // sideLoads walks outward from every path node through conducting
 // transistors (per the oracle), collecting the capacitance of off-path
 // nodes. Each off-path node is attributed to the first path node that
 // reaches it (shortest-hop via BFS from the whole path at once), with the
 // accumulated branch resistance.
 func sideLoads(nw *netlist.Network, st *Stage, opt Options) []SideLoad {
-	type visit struct {
-		attach int
-		r      float64
+	s, _ := slPool.Get().(*slScratch)
+	if s == nil {
+		s = &slScratch{}
 	}
-	seen := make(map[*netlist.Node]visit)
-	// Seed with path nodes (and source) at zero resistance.
-	type qent struct {
-		n      *netlist.Node
-		attach int
-		r      float64
-	}
-	var q []qent
-	seen[st.Source] = visit{0, 0}
-	q = append(q, qent{st.Source, 0, 0})
+	s.next(nw)
+	defer slPool.Put(s)
+	// Seed with path nodes (and source) at zero resistance. Attachment
+	// point and branch resistance ride in the queue entries; only the
+	// visited marks live in the stamped arrays.
+	s.nodeStamp[st.Source.Index] = s.stamp
+	s.q = append(s.q, slQent{st.Source, 0, 0})
 	for i, e := range st.Path {
-		seen[e.To] = visit{i + 1, 0}
-		q = append(q, qent{e.To, i + 1, 0})
-	}
-	// Path membership checks happen per edge of a potentially large
-	// channel group; a set keeps them O(1) (a linear scan here is
-	// quadratic over deep stages and dominated whole-chip analysis).
-	onPath := make(map[*netlist.Trans]bool, len(st.Path))
-	for _, e := range st.Path {
-		onPath[e.Trans] = true
+		s.nodeStamp[e.To.Index] = s.stamp
+		s.q = append(s.q, slQent{e.To, i + 1, 0})
+		s.transOn[e.Trans.Index] = s.stamp
 	}
 	var out []SideLoad
-	for len(q) > 0 {
-		cur := q[0]
-		q = q[1:]
+	for qi := 0; qi < len(s.q); qi++ {
+		cur := s.q[qi]
 		if cur.n.IsSource() {
 			// Ideal sources absorb: nothing behind a rail or input
 			// loads the stage, and expansion must not pass through.
@@ -395,7 +484,7 @@ func sideLoads(nw *netlist.Network, st *Stage, opt Options) []SideLoad {
 				continue
 			}
 			// Skip path elements themselves.
-			if onPath[t] {
+			if s.transOn[t.Index] == s.stamp {
 				continue
 			}
 			o := t.Other(cur.n)
@@ -405,18 +494,18 @@ func sideLoads(nw *netlist.Network, st *Stage, opt Options) []SideLoad {
 			if !t.CanFlow(cur.n) {
 				continue
 			}
-			if _, ok := seen[o]; ok {
+			if s.nodeStamp[o.Index] == s.stamp {
 				continue
 			}
 			r := cur.r + elementR(nw.Tech, t, st.Transition)
-			seen[o] = visit{cur.attach, r}
+			s.nodeStamp[o.Index] = s.stamp
 			// A strong node absorbs the branch: it contributes no
 			// capacitance (it is a rail/input) and stops expansion.
 			if o.IsSource() {
 				continue
 			}
-			out = append(out, SideLoad{Node: o, Attach: cur.attach, R: r, C: nw.NodeCap(o)})
-			q = append(q, qent{o, cur.attach, r})
+			out = append(out, SideLoad{Node: o, Attach: cur.attach, R: r, C: opt.nodeCap(nw, o)})
+			s.q = append(s.q, slQent{o, cur.attach, r})
 		}
 	}
 	return out

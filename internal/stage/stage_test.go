@@ -274,13 +274,12 @@ func TestValidateCatchesBrokenStages(t *testing.T) {
 	nw, _, out := invNet()
 	res := ToNode(nw, out, tech.Fall, Options{})
 	st := res.Stages[0]
-	bad := *st
-	bad.Path = nil
+	bad := &Stage{Source: st.Source, Target: st.Target, Transition: st.Transition}
 	if bad.Validate() == nil {
 		t.Error("empty path should fail validation")
 	}
-	bad2 := *st
-	bad2.Side = []SideLoad{{Node: out, Attach: 99, C: 1}}
+	bad2 := &Stage{Source: st.Source, Target: st.Target, Transition: st.Transition,
+		Path: st.Path, Side: []SideLoad{{Node: out, Attach: 99, C: 1}}}
 	if bad2.Validate() == nil {
 		t.Error("bad attach should fail validation")
 	}

@@ -88,3 +88,52 @@ END {
 
 echo "wrote $OUT2"
 cat "$OUT2"
+
+# BENCH_3.json: single-run scaling of the parallel intra-run drain.
+# BenchmarkE6ChipScaleWorkers analyzes the same chip at 1, 2, 4 and
+# GOMAXPROCS workers (deduplicated); results are bit-identical at every
+# count, so the sweep isolates wall-clock scaling of the speculate/commit
+# drain. On a single-core runner the >1 rows measure pure speculation
+# overhead — see docs/PERFORMANCE.md, "Single-run scaling".
+OUT3=BENCH_3.json
+go test -run '^$' -bench 'BenchmarkE6ChipScaleWorkers' \
+    -benchtime 1x -count 3 . | tee "$RAW"
+
+awk '
+/^BenchmarkE6ChipScaleWorkers\// {
+    name = $1
+    sub(/^BenchmarkE6ChipScaleWorkers\//, "", name)
+    sub(/-[0-9]+$/, "", name)
+    sub(/^workers=/, "", name)
+    runs[name] = runs[name] $3 ","
+    if (!(name in seen)) { order[++nw] = name; seen[name] = 1 }
+}
+function median(csv,   r, n, i, j, t) {
+    sub(/,$/, "", csv)
+    n = split(csv, r, ",")
+    for (i = 1; i < n; i++)
+        for (j = i + 1; j <= n; j++)
+            if (r[j] + 0 < r[i] + 0) { t = r[i]; r[i] = r[j]; r[j] = t }
+    return r[int((n + 1) / 2)]
+}
+END {
+    base = median(runs[order[1]])
+    printf "{\n  \"benchmark\": \"BenchmarkE6ChipScaleWorkers\",\n"
+    printf "  \"gomaxprocs\": %s,\n", procs
+    printf "  \"workers\": {\n"
+    for (i = 1; i <= nw; i++) {
+        w = order[i]
+        csv = runs[w]
+        sub(/,$/, "", csv)
+        med = median(runs[w])
+        printf "    \"%s\": {\n", w
+        printf "      \"runs_ns_op\": [%s],\n", csv
+        printf "      \"median_ns_op\": %s,\n", med
+        printf "      \"scaling_vs_1_worker\": %.2f\n", base / med
+        printf "    }%s\n", i < nw ? "," : ""
+    }
+    printf "  }\n}\n"
+}' procs="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)" "$RAW" > "$OUT3"
+
+echo "wrote $OUT3"
+cat "$OUT3"
