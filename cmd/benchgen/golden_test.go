@@ -1,0 +1,66 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+// update rewrites the golden files instead of diffing against them:
+//
+//	go test ./cmd/benchgen -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden output files")
+
+// TestGoldenOutput pins the generator listing and the emitted .sim text
+// for representative circuits: the interchange format (device lines,
+// geometry units, cap records, @ directives) is what every downstream
+// tool parses, so drift here is an interface break.
+func TestGoldenOutput(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  config
+	}{
+		{"list", config{list: true}},
+		{"invchain4", config{circuit: "invchain:4", techName: "nmos-4u"}},
+		{"superbuffer", config{circuit: "superbuffer", techName: "nmos-4u"}},
+		{"passchain3-cmos", config{circuit: "passchain:3", techName: "cmos-3u"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, diag strings.Builder
+			if err := run(tc.cfg, &out, &diag); err != nil {
+				t.Fatal(err)
+			}
+			got := out.String() + diag.String()
+			golden := "testdata/golden/" + tc.name + ".txt"
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if got != string(want) {
+				t.Errorf("golden mismatch for %s:\n--- want ---\n%s\n--- got ---\n%s",
+					golden, want, got)
+			}
+		})
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, cfg := range []config{
+		{},                    // no circuit, no list
+		{circuit: "nosuch:4"}, // unknown generator
+		{circuit: "invchain:4", techName: "ge-5"}, // unknown technology
+		{circuit: "invchain:zebra"},               // bad argument
+	} {
+		if err := run(cfg, &strings.Builder{}, &strings.Builder{}); err == nil {
+			t.Errorf("config %+v should fail", cfg)
+		}
+	}
+}

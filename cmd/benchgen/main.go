@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/gen"
@@ -18,39 +19,21 @@ import (
 	"repro/internal/tech"
 )
 
+// config carries the parsed command line; run is pure over it.
+type config struct {
+	circuit  string
+	techName string
+	list     bool
+}
+
 func main() {
-	circuit := flag.String("circuit", "", "circuit spec, e.g. alu:8 or passchain:6")
-	techName := flag.String("tech", "nmos-4u", "technology: nmos-4u or cmos-3u")
+	var cfg config
+	flag.StringVar(&cfg.circuit, "circuit", "", "circuit spec, e.g. alu:8 or passchain:6")
+	flag.StringVar(&cfg.techName, "tech", "nmos-4u", "technology: nmos-4u or cmos-3u")
 	out := flag.String("o", "", "output file (default stdout)")
-	list := flag.Bool("list", false, "list available circuits")
+	flag.BoolVar(&cfg.list, "list", false, "list available circuits")
 	flag.Parse()
 
-	if *list {
-		fmt.Println("available circuits:")
-		for _, s := range gen.List() {
-			fmt.Printf("  %-12s %-16s %s\n", s.Name, s.Args, s.Doc)
-		}
-		return
-	}
-	if *circuit == "" {
-		fatal(fmt.Errorf("missing -circuit (or use -list)"))
-	}
-	var p *tech.Params
-	switch *techName {
-	case "nmos-4u", "nmos":
-		p = tech.NMOS4()
-	case "cmos-3u", "cmos":
-		p = tech.CMOS3()
-	default:
-		fatal(fmt.Errorf("unknown technology %q", *techName))
-	}
-	nw, err := gen.Build(*circuit, p)
-	if err != nil {
-		fatal(err)
-	}
-	if err := nw.Check(); err != nil {
-		fatal(err)
-	}
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -60,12 +43,47 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := netlist.WriteSim(w, nw); err != nil {
+	if err := run(cfg, w, os.Stderr); err != nil {
 		fatal(err)
 	}
+}
+
+// run emits the listing or the generated netlist to w and the summary
+// line to diag; split out from main for testing.
+func run(cfg config, w, diag io.Writer) error {
+	if cfg.list {
+		fmt.Fprintln(w, "available circuits:")
+		for _, s := range gen.List() {
+			fmt.Fprintf(w, "  %-12s %-16s %s\n", s.Name, s.Args, s.Doc)
+		}
+		return nil
+	}
+	if cfg.circuit == "" {
+		return fmt.Errorf("missing -circuit (or use -list)")
+	}
+	var p *tech.Params
+	switch cfg.techName {
+	case "nmos-4u", "nmos":
+		p = tech.NMOS4()
+	case "cmos-3u", "cmos":
+		p = tech.CMOS3()
+	default:
+		return fmt.Errorf("unknown technology %q", cfg.techName)
+	}
+	nw, err := gen.Build(cfg.circuit, p)
+	if err != nil {
+		return err
+	}
+	if err := nw.Check(); err != nil {
+		return err
+	}
+	if err := netlist.WriteSim(w, nw); err != nil {
+		return err
+	}
 	st := nw.Stats()
-	fmt.Fprintf(os.Stderr, "benchgen: %s — %d transistors, %d nodes, %d inputs, %d outputs\n",
+	fmt.Fprintf(diag, "benchgen: %s — %d transistors, %d nodes, %d inputs, %d outputs\n",
 		nw.Name, st.Trans, st.Nodes, st.Inputs, st.Outputs)
+	return nil
 }
 
 func fatal(err error) {

@@ -1,139 +1,17 @@
 // Edit-script support: the designer loop the incremental engine exists
-// for. An edit script is a line-oriented batch language; `run` lines are
-// the barriers at which the accumulated batch is applied and the timing
-// brought up to date (incrementally when the invalidation plan allows).
-//
-// Grammar (fields are whitespace-separated; # starts a comment):
-//
-//	add <dev> <gate> <a> <b> [<w> <l>]   insert a transistor (nenh|ndep|penh)
-//	wire <a> <b> <ohms>                  insert an interconnect resistor
-//	del <index>                          remove the transistor at index
-//	resize <index> <w> <l>               change geometry (0 keeps a value)
-//	cap <node> <farads>                  add capacitance (negative subtracts)
-//	retype <node> input|output|normal    change a node's kind
-//	run                                  apply the batch and re-analyze
-//
-// Lengths are in meters, capacitance in farads, resistance in ohms. A
-// trailing batch without a closing `run` is applied at end of input.
+// for. The grammar itself (parser and `run`-barrier batching) lives in
+// internal/incremental so the crystald service speaks the identical
+// language over the wire; this file binds it to the CLI's re-analysis and
+// reporting loop.
 package main
 
 import (
-	"bufio"
 	"fmt"
 	"io"
-	"strconv"
-	"strings"
 
 	"repro/internal/core"
 	"repro/internal/incremental"
-	"repro/internal/netlist"
-	"repro/internal/tech"
 )
-
-// parseEdit decodes one non-barrier script line into a journal entry.
-func parseEdit(fields []string) (incremental.Edit, error) {
-	var e incremental.Edit
-	argc := func(n int) error {
-		if len(fields) != n+1 {
-			return fmt.Errorf("%s takes %d arguments, got %d", fields[0], n, len(fields)-1)
-		}
-		return nil
-	}
-	num := func(s string) (float64, error) {
-		v, err := strconv.ParseFloat(s, 64)
-		if err != nil {
-			return 0, fmt.Errorf("bad number %q", s)
-		}
-		return v, nil
-	}
-	var err error
-	switch fields[0] {
-	case "add":
-		if len(fields) != 5 && len(fields) != 7 {
-			return e, fmt.Errorf("add takes 4 or 6 arguments, got %d", len(fields)-1)
-		}
-		e.Kind = incremental.AddTrans
-		switch fields[1] {
-		case "nenh":
-			e.Dev = tech.NEnh
-		case "ndep":
-			e.Dev = tech.NDep
-		case "penh":
-			e.Dev = tech.PEnh
-		default:
-			return e, fmt.Errorf("unknown device %q (want nenh, ndep or penh)", fields[1])
-		}
-		e.Gate, e.A, e.B = fields[2], fields[3], fields[4]
-		if len(fields) == 7 {
-			if e.W, err = num(fields[5]); err != nil {
-				return e, err
-			}
-			if e.L, err = num(fields[6]); err != nil {
-				return e, err
-			}
-		}
-	case "wire":
-		if err := argc(3); err != nil {
-			return e, err
-		}
-		e.Kind = incremental.AddTrans
-		e.Dev = tech.RWire
-		e.A, e.B = fields[1], fields[2]
-		if e.R, err = num(fields[3]); err != nil {
-			return e, err
-		}
-	case "del":
-		if err := argc(1); err != nil {
-			return e, err
-		}
-		e.Kind = incremental.RemoveTrans
-		if e.Index, err = strconv.Atoi(fields[1]); err != nil {
-			return e, fmt.Errorf("bad index %q", fields[1])
-		}
-	case "resize":
-		if err := argc(3); err != nil {
-			return e, err
-		}
-		e.Kind = incremental.Resize
-		if e.Index, err = strconv.Atoi(fields[1]); err != nil {
-			return e, fmt.Errorf("bad index %q", fields[1])
-		}
-		if e.W, err = num(fields[2]); err != nil {
-			return e, err
-		}
-		if e.L, err = num(fields[3]); err != nil {
-			return e, err
-		}
-	case "cap":
-		if err := argc(2); err != nil {
-			return e, err
-		}
-		e.Kind = incremental.AddCap
-		e.Node = fields[1]
-		if e.Cap, err = num(fields[2]); err != nil {
-			return e, err
-		}
-	case "retype":
-		if err := argc(2); err != nil {
-			return e, err
-		}
-		e.Kind = incremental.Retype
-		e.Node = fields[1]
-		switch fields[2] {
-		case "input":
-			e.NodeKind = netlist.KindInput
-		case "output":
-			e.NodeKind = netlist.KindOutput
-		case "normal":
-			e.NodeKind = netlist.KindNormal
-		default:
-			return e, fmt.Errorf("unknown node kind %q (want input, output or normal)", fields[2])
-		}
-	default:
-		return e, fmt.Errorf("unknown edit %q", fields[0])
-	}
-	return e, nil
-}
 
 // replayEdits reads an edit script from r, applying each batch at its
 // `run` barrier via Reanalyze and reprinting the timing report. It
@@ -143,57 +21,14 @@ func parseEdit(fields []string) (incremental.Edit, error) {
 // up-to-date analysis.
 func replayEdits(a *core.Analyzer, r io.Reader, src string, w io.Writer,
 	report func() (int, error), violations int) (int, error) {
-	var batch []incremental.Edit
-	apply := func() error {
-		if len(batch) == 0 {
-			return nil
-		}
+	err := incremental.ReplayScript(r, src, func(_ int, batch []incremental.Edit) error {
 		stats, err := a.Reanalyze(batch)
 		if err != nil {
 			return err
 		}
-		batch = batch[:0]
-		if stats.Full {
-			fmt.Fprintf(w, "\ncrystal: re-analysis (full: %s; epoch %d, %d stages evaluated)\n",
-				stats.Reason, stats.Epoch, stats.StagesEvaluated)
-		} else {
-			fmt.Fprintf(w, "\ncrystal: re-analysis (incremental: %d/%d nodes dirty, %.0f%%; epoch %d, %d stages evaluated)\n",
-				stats.DirtyNodes, stats.TotalNodes, 100*stats.DirtyFrac,
-				stats.Epoch, stats.StagesEvaluated)
-		}
+		fmt.Fprintf(w, "\n%s\n", core.FormatReanalyzeStatus("crystal", stats))
 		violations, err = report()
 		return err
-	}
-
-	sc := bufio.NewScanner(r)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := sc.Text()
-		if i := strings.IndexByte(line, '#'); i >= 0 {
-			line = line[:i]
-		}
-		fields := strings.Fields(line)
-		if len(fields) == 0 {
-			continue
-		}
-		if fields[0] == "run" {
-			if err := apply(); err != nil {
-				return violations, fmt.Errorf("%s:%d: %w", src, lineNo, err)
-			}
-			continue
-		}
-		e, err := parseEdit(fields)
-		if err != nil {
-			return violations, fmt.Errorf("%s:%d: %w", src, lineNo, err)
-		}
-		batch = append(batch, e)
-	}
-	if err := sc.Err(); err != nil {
-		return violations, err
-	}
-	if err := apply(); err != nil { // trailing batch without a closing run
-		return violations, fmt.Errorf("%s: %w", src, err)
-	}
-	return violations, nil
+	})
+	return violations, err
 }

@@ -1,0 +1,80 @@
+// Command crystald is the long-lived timing-analysis service: it holds
+// parsed netlists, compiled network views and stage-database generations
+// resident in a bounded session cache and answers analyze/edit/critical
+// queries over HTTP/JSON — the service form of the crystal CLI's designer
+// loop, where re-verifying after an edit costs an incremental drain
+// instead of a fresh parse-compile-analyze.
+//
+// Usage:
+//
+//	crystald [-addr :8653] [-max-sessions 16] [-workers 0]
+//	         [-drain-timeout 30s]
+//
+// The API is documented in docs/SERVER.md. On SIGTERM/SIGINT the daemon
+// drains gracefully: the listener closes immediately, in-flight requests
+// (including a running drain) get -drain-timeout to finish, then the
+// process exits. /metrics serves the service counters as JSON; the same
+// document is published through expvar at /debug/vars.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8653", "listen address")
+	maxSessions := flag.Int("max-sessions", 16, "LRU session cache bound (memory knob)")
+	workers := flag.Int("workers", 0, "default drain parallelism per analysis (0 = all cores)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown grace period")
+	flag.Parse()
+
+	sv := server.New(server.Options{
+		MaxSessions:    *maxSessions,
+		DefaultWorkers: *workers,
+	})
+	// The service metrics through the stock expvar protocol, next to the
+	// runtime's memstats/cmdline vars.
+	expvar.Publish("crystald", expvar.Func(func() any { return sv.MetricsSnapshot() }))
+	mux := http.NewServeMux()
+	mux.Handle("/", sv)
+	mux.Handle("/debug/vars", expvar.Handler())
+
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("crystald: listening on %s (max %d sessions)", *addr, *maxSessions)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	select {
+	case err := <-errc:
+		// Listener failed before any signal (bad address, port in use).
+		fmt.Fprintln(os.Stderr, "crystald:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	log.Printf("crystald: draining (grace %s)", *drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("crystald: forced exit: %v", err)
+		os.Exit(1)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "crystald:", err)
+		os.Exit(1)
+	}
+	log.Printf("crystald: drained, bye")
+}

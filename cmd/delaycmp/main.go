@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -24,17 +25,26 @@ import (
 	"repro/internal/tech"
 )
 
+// config carries the parsed command line; run is pure over it.
+type config struct {
+	techName string
+	expList  string
+	tables   string
+	format   string
+	workers  int
+}
+
 func main() {
-	techName := flag.String("tech", "nmos-4u", "technology: nmos-4u or cmos-3u")
-	expList := flag.String("exp", "all", "experiments to run: comma list of e2..e8, or all")
-	tables := flag.String("tables", "char", "delay tables: char (characterized) or analytic")
-	format := flag.String("format", "table", "output for accuracy experiments: table or csv")
-	workers := flag.Int("workers", 0, "worker goroutines for independent rows (0 = all cores, 1 = serial)")
+	var cfg config
+	flag.StringVar(&cfg.techName, "tech", "nmos-4u", "technology: nmos-4u or cmos-3u")
+	flag.StringVar(&cfg.expList, "exp", "all", "experiments to run: comma list of e2..e8, or all")
+	flag.StringVar(&cfg.tables, "tables", "char", "delay tables: char (characterized) or analytic")
+	flag.StringVar(&cfg.format, "format", "table", "output for accuracy experiments: table or csv")
+	flag.IntVar(&cfg.workers, "workers", 0, "worker goroutines for independent rows (0 = all cores, 1 = serial)")
 	cpuprof := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprof := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	experiments.Workers = *workers
 	if *cpuprof != "" {
 		f, err := os.Create(*cpuprof)
 		if err != nil {
@@ -61,19 +71,28 @@ func main() {
 			}
 		}()
 	}
+	if err := run(cfg, os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+// run executes the selected experiments and writes the report to w; split
+// out from main for testing.
+func run(cfg config, w io.Writer) error {
+	experiments.Workers = cfg.workers
 
 	var p *tech.Params
-	switch *techName {
+	switch cfg.techName {
 	case "nmos-4u", "nmos":
 		p = tech.NMOS4()
 	case "cmos-3u", "cmos":
 		p = tech.CMOS3()
 	default:
-		fatal(fmt.Errorf("unknown technology %q", *techName))
+		return fmt.Errorf("unknown technology %q", cfg.techName)
 	}
 
 	var tb *delay.Tables
-	switch *tables {
+	switch cfg.tables {
 	case "char":
 		var err error
 		tb, err = charlib.Default(p)
@@ -83,23 +102,23 @@ func main() {
 	case "analytic":
 		tb = delay.AnalyticTables(p)
 	default:
-		fatal(fmt.Errorf("unknown tables %q (want char or analytic)", *tables))
+		return fmt.Errorf("unknown tables %q (want char or analytic)", cfg.tables)
 	}
-	fmt.Printf("technology %s, %s tables\n\n", p.Name, tb.Source)
+	fmt.Fprintf(w, "technology %s, %s tables\n\n", p.Name, tb.Source)
 
 	want := map[string]bool{}
-	if *expList == "all" {
+	if cfg.expList == "all" {
 		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"} {
 			want[e] = true
 		}
 	} else {
-		for _, e := range strings.Split(*expList, ",") {
+		for _, e := range strings.Split(cfg.expList, ",") {
 			want[strings.TrimSpace(strings.ToLower(e))] = true
 		}
 	}
 
 	if want["e1"] {
-		fmt.Println("E1: slope-model characterization curves (Rmult vs slope ratio)")
+		fmt.Fprintln(w, "E1: slope-model characterization curves (Rmult vs slope ratio)")
 		analytic := delay.AnalyticTables(p)
 		for _, d := range tech.Devices() {
 			for _, tr := range []tech.Transition{tech.Rise, tech.Fall} {
@@ -107,87 +126,88 @@ func main() {
 					continue
 				}
 				c := tb.Curve(d, tr)
-				fmt.Printf("  %s/%s Reff=%.0fΩ/sq (rule of thumb %.0f):",
+				fmt.Fprintf(w, "  %s/%s Reff=%.0fΩ/sq (rule of thumb %.0f):",
 					d, tr, tb.RSquare[d][tr], p.RSquare(d, tr))
 				for i, r := range c.Ratio {
-					fmt.Printf(" %g→%.2f", r, c.RMult[i])
+					fmt.Fprintf(w, " %g→%.2f", r, c.RMult[i])
 				}
 				if tb.Source == "characterized" {
 					ac := analytic.Curve(d, tr)
 					last := c.Ratio[len(c.Ratio)-1]
-					fmt.Printf("  [analytic@%g: %.2f]", last, ac.MultAt(last))
+					fmt.Fprintf(w, "  [analytic@%g: %.2f]", last, ac.MultAt(last))
 				}
-				fmt.Println()
+				fmt.Fprintln(w)
 			}
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 
 	if want["e2"] {
 		rows, err := experiments.E2ModelAccuracy(p, tb)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		renderAccuracy(*format, "E2: model accuracy vs analog reference", rows)
+		renderAccuracy(w, cfg.format, "E2: model accuracy vs analog reference", rows)
 	}
 	if want["e3"] {
 		rows, err := experiments.E3PassChains(p, tb, nil)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		renderAccuracy(*format, "E3: pass-transistor chain scaling", rows)
+		renderAccuracy(w, cfg.format, "E3: pass-transistor chain scaling", rows)
 	}
 	if want["e4"] {
 		rows, err := experiments.E4Fanout(p, tb, nil)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		renderAccuracy(*format, "E4: delay vs fan-out", rows)
+		renderAccuracy(w, cfg.format, "E4: delay vs fan-out", rows)
 	}
 	if want["e5"] {
 		rows, err := experiments.E5InputSlope(p, tb, nil)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		renderAccuracy(*format, "E5: delay vs input transition time", rows)
+		renderAccuracy(w, cfg.format, "E5: delay vs input transition time", rows)
 	}
 	if want["e6"] {
 		rows, err := experiments.E6Throughput(p, tb, "slope")
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Println(experiments.FormatThroughput("E6: verifier throughput (slope model)", rows))
+		fmt.Fprintln(w, experiments.FormatThroughput("E6: verifier throughput (slope model)", rows))
 	}
 	if want["e7"] {
 		rows, err := experiments.E7CriticalPaths(p, tb)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Println(experiments.FormatCritical("E7: critical paths per model", rows))
+		fmt.Fprintln(w, experiments.FormatCritical("E7: critical paths per model", rows))
 	}
 	if want["e9"] {
 		rows, err := experiments.E9PolyWire(p, tb, nil)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		renderAccuracy(*format, "E9: resistive interconnect wire scaling", rows)
+		renderAccuracy(w, cfg.format, "E9: resistive interconnect wire scaling", rows)
 	}
 	if want["e8"] {
 		rows, err := experiments.E8RCBounds(12, 10, 2024)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Println(experiments.FormatRCBounds("E8: RPH bounds on random RC trees (v=0.5)", rows))
+		fmt.Fprintln(w, experiments.FormatRCBounds("E8: RPH bounds on random RC trees (v=0.5)", rows))
 	}
+	return nil
 }
 
 // renderAccuracy prints rows in the selected format.
-func renderAccuracy(format, title string, rows []experiments.AccuracyRow) {
+func renderAccuracy(w io.Writer, format, title string, rows []experiments.AccuracyRow) {
 	if format == "csv" {
-		fmt.Printf("# %s\n%s\n", title, experiments.CSVAccuracy(rows))
+		fmt.Fprintf(w, "# %s\n%s\n", title, experiments.CSVAccuracy(rows))
 		return
 	}
-	fmt.Println(experiments.FormatAccuracy(title, rows))
+	fmt.Fprintln(w, experiments.FormatAccuracy(title, rows))
 }
 
 func fatal(err error) {

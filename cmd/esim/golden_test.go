@@ -1,0 +1,78 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+// update rewrites the golden files instead of diffing against them:
+//
+//	go test ./cmd/esim -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden output files")
+
+const testdataPath = "../../testdata/"
+
+// TestGoldenScripts pins the exact simulator transcript — settle sweep
+// counts, watch-list ordering, dump format and oscillation annotations —
+// for scripted sessions over the repository netlists.
+func TestGoldenScripts(t *testing.T) {
+	cases := []struct {
+		name   string
+		sim    string
+		script string
+	}{
+		{"dlatch-session", "dlatch.sim",
+			// Write a 1, latch it, overwrite with 0, read back.
+			"h wr d\ns\ncheck q=1 out=1\nl wr\ns\nl d\ns\ncheck q=1 out=1\nh wr\ns\ncheck q=0 out=0\nd\n"},
+		{"dlatch-undriven", "dlatch.sim",
+			// Release the write line: the latch keeps its value; an
+			// undriven data input leaves the output unknown on write.
+			"h wr d\ns\nx d\ns\nw q qb\ns\nd\n"},
+		{"mux2-cmos", "mux2-cmos.sim",
+			"h a\nl b sel\ns\nh sel\ns\nd\n"},
+	}
+	p := tech.NMOS4()
+	cmos := tech.CMOS3()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			params := p
+			if strings.Contains(tc.sim, "cmos") {
+				params = cmos
+			}
+			f, err := os.Open(testdataPath + tc.sim)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nw, err := netlist.ReadSim(tc.sim, params, f)
+			f.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out strings.Builder
+			if err := run(nw, strings.NewReader(tc.script), &out); err != nil {
+				t.Fatalf("%v\noutput:\n%s", err, out.String())
+			}
+			got := out.String()
+			golden := "testdata/golden/" + tc.name + ".txt"
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if got != string(want) {
+				t.Errorf("golden mismatch for %s:\n--- want ---\n%s\n--- got ---\n%s",
+					golden, want, got)
+			}
+		})
+	}
+}

@@ -56,6 +56,21 @@ func (a *Analyzer) WriteReport(w io.Writer, k int) error {
 	return nil
 }
 
+// FormatReanalyzeStatus renders one Reanalyze outcome as the status line
+// the designer loop prints at each `run` barrier — honest about full
+// fallbacks (and why) versus incremental updates. prog prefixes the line
+// ("crystal" for the CLI, "crystald" for the service) so the two surfaces
+// stay byte-comparable apart from their name.
+func FormatReanalyzeStatus(prog string, stats *ReanalyzeStats) string {
+	if stats.Full {
+		return fmt.Sprintf("%s: re-analysis (full: %s; epoch %d, %d stages evaluated)",
+			prog, stats.Reason, stats.Epoch, stats.StagesEvaluated)
+	}
+	return fmt.Sprintf("%s: re-analysis (incremental: %d/%d nodes dirty, %.0f%%; epoch %d, %d stages evaluated)",
+		prog, stats.DirtyNodes, stats.TotalNodes, 100*stats.DirtyFrac,
+		stats.Epoch, stats.StagesEvaluated)
+}
+
 // MaxArrival returns the latest valid event over the whole network — the
 // single number usually quoted as "the critical path delay".
 func (a *Analyzer) MaxArrival() (Event, *Path) {

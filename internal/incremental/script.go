@@ -1,0 +1,182 @@
+// The edit-script grammar: the line-oriented batch language the designer
+// loop speaks, shared by the crystal CLI (-edits / -watch) and the
+// crystald analysis service (POST /v1/sessions/{id}/edits). `run` lines
+// are the barriers at which the accumulated batch is applied and the
+// timing brought up to date (incrementally when the invalidation plan
+// allows).
+//
+// Grammar (fields are whitespace-separated; # starts a comment):
+//
+//	add <dev> <gate> <a> <b> [<w> <l>]   insert a transistor (nenh|ndep|penh)
+//	wire <a> <b> <ohms>                  insert an interconnect resistor
+//	del <index>                          remove the transistor at index
+//	resize <index> <w> <l>               change geometry (0 keeps a value)
+//	cap <node> <farads>                  add capacitance (negative subtracts)
+//	retype <node> input|output|normal    change a node's kind
+//	run                                  apply the batch and re-analyze
+//
+// Lengths are in meters, capacitance in farads, resistance in ohms. A
+// trailing batch without a closing `run` is applied at end of input.
+package incremental
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+// ParseEditLine decodes one non-barrier script line (already split into
+// fields) into a journal entry.
+func ParseEditLine(fields []string) (Edit, error) {
+	var e Edit
+	argc := func(n int) error {
+		if len(fields) != n+1 {
+			return fmt.Errorf("%s takes %d arguments, got %d", fields[0], n, len(fields)-1)
+		}
+		return nil
+	}
+	num := func(s string) (float64, error) {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad number %q", s)
+		}
+		return v, nil
+	}
+	var err error
+	switch fields[0] {
+	case "add":
+		if len(fields) != 5 && len(fields) != 7 {
+			return e, fmt.Errorf("add takes 4 or 6 arguments, got %d", len(fields)-1)
+		}
+		e.Kind = AddTrans
+		switch fields[1] {
+		case "nenh":
+			e.Dev = tech.NEnh
+		case "ndep":
+			e.Dev = tech.NDep
+		case "penh":
+			e.Dev = tech.PEnh
+		default:
+			return e, fmt.Errorf("unknown device %q (want nenh, ndep or penh)", fields[1])
+		}
+		e.Gate, e.A, e.B = fields[2], fields[3], fields[4]
+		if len(fields) == 7 {
+			if e.W, err = num(fields[5]); err != nil {
+				return e, err
+			}
+			if e.L, err = num(fields[6]); err != nil {
+				return e, err
+			}
+		}
+	case "wire":
+		if err := argc(3); err != nil {
+			return e, err
+		}
+		e.Kind = AddTrans
+		e.Dev = tech.RWire
+		e.A, e.B = fields[1], fields[2]
+		if e.R, err = num(fields[3]); err != nil {
+			return e, err
+		}
+	case "del":
+		if err := argc(1); err != nil {
+			return e, err
+		}
+		e.Kind = RemoveTrans
+		if e.Index, err = strconv.Atoi(fields[1]); err != nil {
+			return e, fmt.Errorf("bad index %q", fields[1])
+		}
+	case "resize":
+		if err := argc(3); err != nil {
+			return e, err
+		}
+		e.Kind = Resize
+		if e.Index, err = strconv.Atoi(fields[1]); err != nil {
+			return e, fmt.Errorf("bad index %q", fields[1])
+		}
+		if e.W, err = num(fields[2]); err != nil {
+			return e, err
+		}
+		if e.L, err = num(fields[3]); err != nil {
+			return e, err
+		}
+	case "cap":
+		if err := argc(2); err != nil {
+			return e, err
+		}
+		e.Kind = AddCap
+		e.Node = fields[1]
+		if e.Cap, err = num(fields[2]); err != nil {
+			return e, err
+		}
+	case "retype":
+		if err := argc(2); err != nil {
+			return e, err
+		}
+		e.Kind = Retype
+		e.Node = fields[1]
+		switch fields[2] {
+		case "input":
+			e.NodeKind = netlist.KindInput
+		case "output":
+			e.NodeKind = netlist.KindOutput
+		case "normal":
+			e.NodeKind = netlist.KindNormal
+		default:
+			return e, fmt.Errorf("unknown node kind %q (want input, output or normal)", fields[2])
+		}
+	default:
+		return e, fmt.Errorf("unknown edit %q", fields[0])
+	}
+	return e, nil
+}
+
+// ReplayScript reads an edit script from r and calls apply with each
+// accumulated batch at its `run` barrier (and once more for a trailing
+// batch without a closing `run`). src names the script in error messages.
+// Empty batches at a barrier are skipped. apply receives the 1-based line
+// number of the barrier (or the last line for a trailing batch).
+func ReplayScript(r io.Reader, src string, apply func(line int, batch []Edit) error) error {
+	var batch []Edit
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if fields[0] == "run" {
+			if len(batch) > 0 {
+				if err := apply(lineNo, batch); err != nil {
+					return fmt.Errorf("%s:%d: %w", src, lineNo, err)
+				}
+				batch = batch[:0]
+			}
+			continue
+		}
+		e, err := ParseEditLine(fields)
+		if err != nil {
+			return fmt.Errorf("%s:%d: %w", src, lineNo, err)
+		}
+		batch = append(batch, e)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(batch) > 0 {
+		if err := apply(lineNo, batch); err != nil {
+			return fmt.Errorf("%s: %w", src, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+// Service metrics: cheap atomic counters for the cache and the analysis
+// engine, plus bounded latency recorders with on-demand percentiles. The
+// /metrics endpoint serves a JSON snapshot; cmd/crystald additionally
+// publishes the same snapshot through the stock expvar protocol at
+// /debug/vars so fleet tooling needs no custom scraper.
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyRing bounds each recorder: percentiles are computed over the most
+// recent latencyRing observations, so a long-lived daemon reports current
+// behaviour, not its lifetime average.
+const latencyRing = 512
+
+// latencyRecorder keeps the last latencyRing durations of one request
+// class.
+type latencyRecorder struct {
+	mu    sync.Mutex
+	ring  [latencyRing]int64 // nanoseconds
+	n     int                // filled slots, capped at latencyRing
+	next  int                // ring cursor
+	total int64              // lifetime observation count
+}
+
+func (l *latencyRecorder) observe(d time.Duration) {
+	l.mu.Lock()
+	l.ring[l.next] = d.Nanoseconds()
+	l.next = (l.next + 1) % latencyRing
+	if l.n < latencyRing {
+		l.n++
+	}
+	l.total++
+	l.mu.Unlock()
+}
+
+// LatencyStats is one recorder's snapshot: lifetime count and percentiles
+// over the recent window.
+type LatencyStats struct {
+	Count int64 `json:"count"`
+	P50Ns int64 `json:"p50_ns"`
+	P99Ns int64 `json:"p99_ns"`
+}
+
+func (l *latencyRecorder) stats() LatencyStats {
+	l.mu.Lock()
+	buf := make([]int64, l.n)
+	copy(buf, l.ring[:l.n])
+	st := LatencyStats{Count: l.total}
+	l.mu.Unlock()
+	if len(buf) == 0 {
+		return st
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	st.P50Ns = buf[len(buf)/2]
+	st.P99Ns = buf[(len(buf)*99)/100]
+	return st
+}
+
+// metrics is the server's counter set. All fields are updated with atomics
+// so handlers never serialize on a stats lock.
+type metrics struct {
+	sessionsCreated atomic.Int64
+	sessionsDeduped atomic.Int64 // content-hash cache hits on POST /v1/sessions
+	sessionsEvicted atomic.Int64 // LRU evictions
+
+	analyzesFull   atomic.Int64 // full drains (initial runs and worker-count rebuilds)
+	analyzesCached atomic.Int64 // served straight from the session snapshot
+
+	editBatches      atomic.Int64 // run barriers applied
+	editsIncremental atomic.Int64 // barriers served by the incremental engine
+	editsFull        atomic.Int64 // barriers that fell back to a full drain
+	drainEpochs      atomic.Int64 // cumulative stage-DB generations advanced
+
+	analyzeLatency latencyRecorder // one full analyze
+	editLatency    latencyRecorder // one edit barrier (Reanalyze + report)
+}
+
+// MetricsSnapshot is the externally visible metrics document.
+type MetricsSnapshot struct {
+	Sessions struct {
+		Live    int   `json:"live"`
+		Created int64 `json:"created"`
+		Deduped int64 `json:"deduped"`
+		Evicted int64 `json:"evicted"`
+	} `json:"sessions"`
+	Analyze struct {
+		Full   int64 `json:"full"`
+		Cached int64 `json:"cached"`
+	} `json:"analyze"`
+	Edits struct {
+		Batches     int64 `json:"batches"`
+		Incremental int64 `json:"incremental"`
+		Full        int64 `json:"full"`
+		DrainEpochs int64 `json:"drain_epochs"`
+	} `json:"edits"`
+	LatencyNs struct {
+		Analyze     LatencyStats `json:"analyze"`
+		EditBarrier LatencyStats `json:"edit_barrier"`
+	} `json:"latency_ns"`
+}
+
+// snapshot assembles the document; live is the current cache size (owned
+// by the server, which holds its own lock).
+func (m *metrics) snapshot(live int) MetricsSnapshot {
+	var s MetricsSnapshot
+	s.Sessions.Live = live
+	s.Sessions.Created = m.sessionsCreated.Load()
+	s.Sessions.Deduped = m.sessionsDeduped.Load()
+	s.Sessions.Evicted = m.sessionsEvicted.Load()
+	s.Analyze.Full = m.analyzesFull.Load()
+	s.Analyze.Cached = m.analyzesCached.Load()
+	s.Edits.Batches = m.editBatches.Load()
+	s.Edits.Incremental = m.editsIncremental.Load()
+	s.Edits.Full = m.editsFull.Load()
+	s.Edits.DrainEpochs = m.drainEpochs.Load()
+	s.LatencyNs.Analyze = m.analyzeLatency.stats()
+	s.LatencyNs.EditBarrier = m.editLatency.stats()
+	return s
+}

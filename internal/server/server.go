@@ -1,0 +1,522 @@
+// Package server is the crystald analysis service: a long-lived HTTP/JSON
+// daemon holding parsed netlists, compiled network views and stage-DB
+// generations in a bounded LRU session cache, so the designer loop —
+// load, analyze, edit, re-verify — pays the parse/compile/enumerate cost
+// once and every subsequent query runs against resident state. Edits
+// speak the same script grammar as `crystal -edits` and are served by the
+// incremental engine, with honest reporting when it falls back to a full
+// drain.
+//
+// Endpoints:
+//
+//	POST   /v1/sessions               load a .sim netlist (content-hash dedup)
+//	GET    /v1/sessions               list resident sessions
+//	GET    /v1/sessions/{id}          one session's state
+//	DELETE /v1/sessions/{id}          evict a session
+//	POST   /v1/sessions/{id}/analyze  full analysis ({"workers": N})
+//	POST   /v1/sessions/{id}/edits    edit script ({"script": "..."}), incremental
+//	GET    /v1/sessions/{id}/critical top-N critical paths (?n=, from snapshot)
+//	GET    /healthz                   liveness
+//	GET    /metrics                   counters + latency percentiles (JSON)
+package server
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/incremental"
+)
+
+// Options tunes the server.
+type Options struct {
+	// MaxSessions bounds the LRU session cache (default 16). A session is
+	// the dominant memory unit — network + stage DB + arrivals — so this
+	// is the daemon's memory knob; see docs/SERVER.md for sizing.
+	MaxSessions int
+	// DefaultWorkers is the drain parallelism when a request does not set
+	// one (0 selects GOMAXPROCS).
+	DefaultWorkers int
+}
+
+func (o Options) fill() Options {
+	if o.MaxSessions <= 0 {
+		o.MaxSessions = 16
+	}
+	return o
+}
+
+// Server is the HTTP handler plus the session cache. Create with New;
+// safe for concurrent use.
+type Server struct {
+	opts Options
+	mux  *http.ServeMux
+	m    metrics
+
+	mu     sync.Mutex
+	byID   map[string]*list.Element
+	byHash map[string]*list.Element // only pristine (un-edited) sessions
+	lru    *list.List               // front = most recently used; values are *session
+	seq    int64                    // id disambiguator for diverged reloads
+}
+
+// New creates a server.
+func New(opts Options) *Server {
+	sv := &Server{
+		opts:   opts.fill(),
+		mux:    http.NewServeMux(),
+		byID:   make(map[string]*list.Element),
+		byHash: make(map[string]*list.Element),
+		lru:    list.New(),
+	}
+	sv.mux.HandleFunc("POST /v1/sessions", sv.handleCreate)
+	sv.mux.HandleFunc("GET /v1/sessions", sv.handleList)
+	sv.mux.HandleFunc("GET /v1/sessions/{id}", sv.handleInfo)
+	sv.mux.HandleFunc("DELETE /v1/sessions/{id}", sv.handleDelete)
+	sv.mux.HandleFunc("POST /v1/sessions/{id}/analyze", sv.handleAnalyze)
+	sv.mux.HandleFunc("POST /v1/sessions/{id}/edits", sv.handleEdits)
+	sv.mux.HandleFunc("GET /v1/sessions/{id}/critical", sv.handleCritical)
+	sv.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	sv.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, sv.MetricsSnapshot())
+	})
+	return sv
+}
+
+// ServeHTTP implements http.Handler.
+func (sv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { sv.mux.ServeHTTP(w, r) }
+
+// MetricsSnapshot returns the current metrics document (also served at
+// /metrics; cmd/crystald publishes it through expvar).
+func (sv *Server) MetricsSnapshot() MetricsSnapshot {
+	sv.mu.Lock()
+	live := sv.lru.Len()
+	sv.mu.Unlock()
+	return sv.m.snapshot(live)
+}
+
+// httpError is the uniform error body.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, httpError{Error: fmt.Sprintf(format, args...)})
+}
+
+// lookup fetches a session by id and bumps its LRU recency.
+func (sv *Server) lookup(id string) *session {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	el, ok := sv.byID[id]
+	if !ok {
+		return nil
+	}
+	sv.lru.MoveToFront(el)
+	return el.Value.(*session)
+}
+
+// insert adds a session to the cache, evicting from the LRU tail past the
+// bound. The caller has verified no pristine session shares the hash.
+func (sv *Server) insert(s *session) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	el := sv.lru.PushFront(s)
+	sv.byID[s.id] = el
+	if _, taken := sv.byHash[s.hash]; !taken {
+		sv.byHash[s.hash] = el
+	}
+	for sv.lru.Len() > sv.opts.MaxSessions {
+		tail := sv.lru.Back()
+		sv.removeLocked(tail)
+		sv.m.sessionsEvicted.Add(1)
+	}
+}
+
+// removeLocked unlinks one cache element. Callers hold sv.mu. In-flight
+// requests holding the session pointer finish normally — eviction only
+// stops new lookups; the session's memory is reclaimed when the last
+// handler returns.
+func (sv *Server) removeLocked(el *list.Element) {
+	s := el.Value.(*session)
+	sv.lru.Remove(el)
+	delete(sv.byID, s.id)
+	if cur, ok := sv.byHash[s.hash]; ok && cur == el {
+		delete(sv.byHash, s.hash)
+	}
+}
+
+// markEdited records that a session diverged from its loaded source: it
+// no longer answers content-hash dedup (a re-POST of the same source must
+// get a pristine session, not someone's edit state).
+func (sv *Server) markEdited(s *session) {
+	sv.mu.Lock()
+	if el, ok := sv.byHash[s.hash]; ok && el.Value.(*session) == s {
+		delete(sv.byHash, s.hash)
+	}
+	sv.mu.Unlock()
+}
+
+// createResponse is the POST /v1/sessions reply.
+type createResponse struct {
+	Session     string `json:"session"`
+	Cached      bool   `json:"cached"`
+	Name        string `json:"name"`
+	Tech        string `json:"tech"`
+	Model       string `json:"model"`
+	Tables      string `json:"tables"`
+	Nodes       int    `json:"nodes"`
+	Transistors int    `json:"transistors"`
+}
+
+func (sv *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var cfg SessionConfig
+	if err := json.NewDecoder(r.Body).Decode(&cfg); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if err := cfg.fill(); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	hash := cfg.hash()
+
+	// Content-hash dedup: a pristine session over identical content
+	// answers for every identical load.
+	sv.mu.Lock()
+	if el, ok := sv.byHash[hash]; ok {
+		s := el.Value.(*session)
+		sv.lru.MoveToFront(el)
+		sv.mu.Unlock()
+		sv.m.sessionsDeduped.Add(1)
+		writeJSON(w, http.StatusOK, sv.describe(s, true))
+		return
+	}
+	sv.seq++
+	seq := sv.seq
+	sv.mu.Unlock()
+
+	id := hash[:12]
+	if sv.lookup(id) != nil { // hash prefix taken by a diverged session
+		id = fmt.Sprintf("%s.%d", hash[:12], seq)
+	}
+	s, err := newSession(id, cfg)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sv.insert(s)
+	sv.m.sessionsCreated.Add(1)
+	writeJSON(w, http.StatusCreated, sv.describe(s, false))
+}
+
+func (sv *Server) describe(s *session, cached bool) createResponse {
+	st := s.nw.Stats()
+	return createResponse{
+		Session: s.id, Cached: cached,
+		Name: s.cfg.Name, Tech: s.cfg.Tech, Model: s.cfg.Model, Tables: s.cfg.Tables,
+		Nodes: st.Nodes, Transistors: st.Trans,
+	}
+}
+
+// sessionInfo is one row of GET /v1/sessions (and the GET /{id} body).
+type sessionInfo struct {
+	Session     string  `json:"session"`
+	Name        string  `json:"name"`
+	Nodes       int     `json:"nodes"`
+	Transistors int     `json:"transistors"`
+	Analyzed    bool    `json:"analyzed"`
+	Edited      bool    `json:"edited"`
+	Barriers    int     `json:"barriers"`
+	Epoch       uint64  `json:"epoch"`
+	CriticalNs  float64 `json:"critical_ns"`
+}
+
+func (sv *Server) info(s *session) sessionInfo {
+	st := s.nw.Stats()
+	inf := sessionInfo{
+		Session: s.id, Name: s.cfg.Name,
+		Nodes: st.Nodes, Transistors: st.Trans,
+	}
+	s.mu.Lock()
+	inf.Edited, inf.Barriers = s.edited, s.barriers
+	s.mu.Unlock()
+	if snap := s.snap.Load(); snap != nil {
+		inf.Analyzed = true
+		inf.Epoch = snap.Epoch
+		inf.CriticalNs = snap.CriticalNs
+	}
+	return inf
+}
+
+func (sv *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	sv.mu.Lock()
+	sessions := make([]*session, 0, sv.lru.Len())
+	for el := sv.lru.Front(); el != nil; el = el.Next() {
+		sessions = append(sessions, el.Value.(*session))
+	}
+	sv.mu.Unlock()
+	out := make([]sessionInfo, 0, len(sessions))
+	for _, s := range sessions {
+		out = append(out, sv.info(s))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": out})
+}
+
+func (sv *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	s := sv.lookup(r.PathValue("id"))
+	if s == nil {
+		writeErr(w, http.StatusNotFound, "no session %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, sv.info(s))
+}
+
+func (sv *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sv.mu.Lock()
+	el, ok := sv.byID[id]
+	if ok {
+		sv.removeLocked(el)
+	}
+	sv.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no session %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+// analyzeRequest is the POST .../analyze body (all fields optional).
+type analyzeRequest struct {
+	// Workers sets the drain parallelism (0 = server default; results are
+	// bit-identical at every setting).
+	Workers int `json:"workers,omitempty"`
+	// Force reruns the full drain even when the snapshot is current.
+	Force bool `json:"force,omitempty"`
+}
+
+// analyzeResponse is the analyze reply: the snapshot plus run metadata.
+type analyzeResponse struct {
+	*Snapshot
+	Cached     bool  `json:"cached"`
+	Workers    int   `json:"workers"`
+	DurationNs int64 `json:"duration_ns"`
+}
+
+func (sv *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	s := sv.lookup(r.PathValue("id"))
+	if s == nil {
+		writeErr(w, http.StatusNotFound, "no session %q", r.PathValue("id"))
+		return
+	}
+	var req analyzeRequest
+	if err := decodeOptional(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	workers := req.Workers
+	if workers == 0 {
+		workers = sv.opts.DefaultWorkers
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Snapshot still current for this worker count: serve it. Worker
+	// count changes rebuild — results are bit-identical either way, the
+	// rebuild is purely so the requested parallelism really is in effect
+	// for subsequent edit drains.
+	if snap := s.snap.Load(); snap != nil && !req.Force && s.workers == workers {
+		sv.m.analyzesCached.Add(1)
+		writeJSON(w, http.StatusOK, analyzeResponse{Snapshot: snap, Cached: true, Workers: workers})
+		return
+	}
+	a, err := s.buildAnalyzer(workers, s.a)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	start := time.Now()
+	if err := a.Run(); err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	dur := time.Since(start)
+	s.a, s.workers = a, workers
+	snap := s.buildSnapshot()
+	sv.m.analyzesFull.Add(1)
+	sv.m.analyzeLatency.observe(dur)
+	writeJSON(w, http.StatusOK, analyzeResponse{
+		Snapshot: snap, Workers: workers, DurationNs: dur.Nanoseconds(),
+	})
+}
+
+// editsRequest is the POST .../edits body: an edit script in the same
+// grammar as `crystal -edits` (see internal/incremental).
+type editsRequest struct {
+	Script string `json:"script"`
+	// Workers optionally retunes the drain parallelism for the replay
+	// (0 keeps the session's current setting).
+	Workers int `json:"workers,omitempty"`
+}
+
+// barrierResult reports one `run` barrier: the Reanalyze outcome — honest
+// about full fallbacks and why — plus the refreshed report.
+type barrierResult struct {
+	Line            int     `json:"line"`
+	Incremental     bool    `json:"incremental"`
+	Reason          string  `json:"reason,omitempty"` // fallback reason when full
+	DirtyNodes      int     `json:"dirty_nodes"`
+	TotalNodes      int     `json:"total_nodes"`
+	DirtyFrac       float64 `json:"dirty_frac"`
+	Epoch           uint64  `json:"epoch"`
+	StagesEvaluated int     `json:"stages_evaluated"`
+	DurationNs      int64   `json:"duration_ns"`
+	Status          string  `json:"status"` // the CLI-format status line
+	Report          string  `json:"report"`
+}
+
+type editsResponse struct {
+	Barriers []barrierResult `json:"barriers"`
+	Snapshot *Snapshot       `json:"snapshot"`
+}
+
+func (sv *Server) handleEdits(w http.ResponseWriter, r *http.Request) {
+	s := sv.lookup(r.PathValue("id"))
+	if s == nil {
+		writeErr(w, http.StatusNotFound, "no session %q", r.PathValue("id"))
+		return
+	}
+	var req editsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if strings.TrimSpace(req.Script) == "" {
+		writeErr(w, http.StatusBadRequest, "missing script")
+		return
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.a == nil {
+		writeErr(w, http.StatusConflict, "session %s not analyzed yet (POST .../analyze first)", s.id)
+		return
+	}
+	if req.Workers != 0 {
+		s.a.Opts.Workers = req.Workers
+		s.workers = req.Workers
+	}
+	var resp editsResponse
+	err := incremental.ReplayScript(strings.NewReader(req.Script), "script",
+		func(line int, batch []incremental.Edit) error {
+			start := time.Now()
+			stats, err := s.a.Reanalyze(batch)
+			if err != nil {
+				return err
+			}
+			dur := time.Since(start)
+			s.edited = true
+			s.barriers++
+			sv.m.editBatches.Add(1)
+			sv.m.editLatency.observe(dur)
+			if stats.Full {
+				sv.m.editsFull.Add(1)
+			} else {
+				sv.m.editsIncremental.Add(1)
+			}
+			if stats.Epoch > s.lastEpoch {
+				sv.m.drainEpochs.Add(int64(stats.Epoch - s.lastEpoch))
+				s.lastEpoch = stats.Epoch
+			}
+			snap := s.buildSnapshot()
+			resp.Barriers = append(resp.Barriers, barrierResult{
+				Line:            line,
+				Incremental:     !stats.Full,
+				Reason:          stats.Reason,
+				DirtyNodes:      stats.DirtyNodes,
+				TotalNodes:      stats.TotalNodes,
+				DirtyFrac:       stats.DirtyFrac,
+				Epoch:           stats.Epoch,
+				StagesEvaluated: stats.StagesEvaluated,
+				DurationNs:      dur.Nanoseconds(),
+				Status:          core.FormatReanalyzeStatus("crystald", stats),
+				Report:          snap.Report,
+			})
+			return nil
+		})
+	if len(resp.Barriers) > 0 {
+		// The session diverged from its loaded source even if a later
+		// batch failed: stop answering content-hash dedup for it.
+		sv.markEdited(s)
+		s.nw = s.a.Net // Reanalyze advanced the network generation
+	}
+	if err != nil {
+		// A failed batch is atomic (Apply clones before editing), but
+		// earlier barriers in the same script have been applied; report
+		// them alongside the error so the client knows where it stopped.
+		writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
+			"error":    err.Error(),
+			"barriers": resp.Barriers,
+		})
+		return
+	}
+	resp.Snapshot = s.snap.Load()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (sv *Server) handleCritical(w http.ResponseWriter, r *http.Request) {
+	s := sv.lookup(r.PathValue("id"))
+	if s == nil {
+		writeErr(w, http.StatusNotFound, "no session %q", r.PathValue("id"))
+		return
+	}
+	snap := s.snap.Load()
+	if snap == nil {
+		writeErr(w, http.StatusConflict, "session %s not analyzed yet (POST .../analyze first)", s.id)
+		return
+	}
+	paths := snap.Paths
+	if q := r.URL.Query().Get("n"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, "bad n %q", q)
+			return
+		}
+		if n < len(paths) {
+			paths = paths[:n]
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"session":     s.id,
+		"epoch":       snap.Epoch,
+		"critical_ns": snap.CriticalNs,
+		"paths":       paths,
+	})
+}
+
+// decodeOptional decodes a JSON body, tolerating an empty one.
+func decodeOptional(r *http.Request, v any) error {
+	err := json.NewDecoder(r.Body).Decode(v)
+	if err == nil || err == io.EOF {
+		return nil
+	}
+	return err
+}

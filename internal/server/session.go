@@ -1,0 +1,313 @@
+// Sessions: one loaded netlist plus its resident analysis state. A
+// session is the unit the LRU cache holds — parsed network, compiled
+// netlist.Compact view, stage.DB generations and arrival cones all live
+// inside the analyzer, so a cache hit skips straight to the incremental
+// engine.
+//
+// Concurrency model: per-session single-writer. Every mutating request
+// (analyze, edits) takes the session's writer lock, so edit generations
+// advance serially; read requests never touch the analyzer at all — they
+// load an immutable snapshot installed with an atomic pointer after each
+// (re)analysis, so a slow drain never blocks a /critical probe and a
+// half-applied batch is never observable.
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/charlib"
+	"repro/internal/core"
+	"repro/internal/delay"
+	"repro/internal/netlist"
+	"repro/internal/switchsim"
+	"repro/internal/tech"
+)
+
+// SessionConfig is the POST /v1/sessions request body: the .sim source
+// plus the same analysis directives the crystal CLI takes.
+type SessionConfig struct {
+	// Name labels the network in reports (default "netlist").
+	Name string `json:"name,omitempty"`
+	// Sim is the .sim netlist source (required).
+	Sim string `json:"sim"`
+	// Tech selects the technology: nmos-4u (default) or cmos-3u.
+	Tech string `json:"tech,omitempty"`
+	// Model selects the delay model: lumped, rc or slope (default slope).
+	Model string `json:"model,omitempty"`
+	// Tables selects the delay tables: analytic (default) or char.
+	Tables string `json:"tables,omitempty"`
+	// Rise / Fall seed worst-case transitions at t=0 on the named inputs.
+	// With both empty every input toggles in both directions — the fully
+	// vectorless worst case.
+	Rise []string `json:"rise,omitempty"`
+	Fall []string `json:"fall,omitempty"`
+	// Fix pins nodes to constant values ("0" or "1") for sensitization.
+	Fix map[string]string `json:"fix,omitempty"`
+	// Slope is the input transition time in seconds (default 1e-9).
+	Slope float64 `json:"slope,omitempty"`
+	// LoopBreak cuts the fanout of the named nodes (feedback directive).
+	LoopBreak []string `json:"loopbreak,omitempty"`
+	// Top is how many critical paths snapshots retain (default 5, cap 64).
+	Top int `json:"top,omitempty"`
+}
+
+// fill applies defaults and validates the enumerated fields.
+func (c *SessionConfig) fill() error {
+	if strings.TrimSpace(c.Sim) == "" {
+		return fmt.Errorf("missing sim source")
+	}
+	if c.Name == "" {
+		c.Name = "netlist"
+	}
+	if c.Tech == "" {
+		c.Tech = "nmos-4u"
+	}
+	if c.Model == "" {
+		c.Model = "slope"
+	}
+	if c.Tables == "" {
+		c.Tables = "analytic"
+	}
+	if c.Slope <= 0 {
+		c.Slope = 1e-9
+	}
+	if c.Top <= 0 {
+		c.Top = 5
+	}
+	if c.Top > 64 {
+		c.Top = 64
+	}
+	return nil
+}
+
+// hash is the content hash the session cache is keyed by: every field
+// that affects analysis results, canonically serialized. Two loads with
+// equal hashes produce byte-identical reports, so the cache may serve one
+// session for both.
+func (c *SessionConfig) hash() string {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	// Maps need a canonical order; everything else is already ordered.
+	fixKeys := make([]string, 0, len(c.Fix))
+	for k := range c.Fix {
+		fixKeys = append(fixKeys, k)
+	}
+	sort.Strings(fixKeys)
+	var fix []string
+	for _, k := range fixKeys {
+		fix = append(fix, k+"="+c.Fix[k])
+	}
+	enc.Encode([]any{c.Name, c.Sim, c.Tech, c.Model, c.Tables,
+		c.Rise, c.Fall, fix, c.Slope, c.LoopBreak, c.Top})
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// PathHop is one step of a traced critical path, times in seconds.
+type PathHop struct {
+	Node  string  `json:"node"`
+	Tr    string  `json:"tr"`
+	T     float64 `json:"t"`
+	Slope float64 `json:"slope"`
+	Via   string  `json:"via,omitempty"` // stage description; empty for seeded inputs
+}
+
+// PathJSON is one traced critical path, input first.
+type PathJSON struct {
+	Endpoint string    `json:"endpoint"`
+	Tr       string    `json:"tr"`
+	T        float64   `json:"t"`
+	Slope    float64   `json:"slope"`
+	Hops     []PathHop `json:"hops"`
+}
+
+// Snapshot is the immutable read view installed after every (re)analysis.
+type Snapshot struct {
+	// Report is the textual report: a header line plus the same critical-
+	// path listing the crystal CLI prints (byte-comparable to an offline
+	// replay of the same session).
+	Report string `json:"report"`
+	// Paths is the structured top-N listing (N = SessionConfig.Top).
+	Paths []PathJSON `json:"paths"`
+	// CriticalNs is the latest arrival in nanoseconds (0 if none).
+	CriticalNs float64 `json:"critical_ns"`
+	// Epoch is the stage-database generation.
+	Epoch uint64 `json:"epoch"`
+	// StagesEvaluated counts model evaluations over the session lifetime.
+	StagesEvaluated int `json:"stages_evaluated"`
+	// Truncated / Unbounded mirror the analyzer's honesty flags.
+	Truncated bool     `json:"truncated,omitempty"`
+	Unbounded []string `json:"unbounded,omitempty"`
+}
+
+// session is one resident analysis. All mutation happens under mu; snap
+// is the lock-free read surface.
+type session struct {
+	id   string
+	hash string
+	cfg  SessionConfig
+
+	params *tech.Params
+	tables *delay.Tables
+	model  delay.Model
+
+	mu        sync.Mutex // single writer: analyze / edits serialization
+	nw        *netlist.Network
+	a         *core.Analyzer // nil until the first analyze
+	workers   int            // worker count of the current analyzer
+	edited    bool           // diverged from the loaded source (edits applied)
+	barriers  int            // run barriers applied over the session lifetime
+	lastEpoch uint64         // stage-DB generation at the last metrics update
+
+	snap atomic.Pointer[Snapshot]
+}
+
+// newSession parses the source and prepares (but does not run) the
+// analysis.
+func newSession(id string, cfg SessionConfig) (*session, error) {
+	s := &session{id: id, hash: cfg.hash(), cfg: cfg}
+	switch cfg.Tech {
+	case "nmos-4u", "nmos":
+		s.params = tech.NMOS4()
+	case "cmos-3u", "cmos":
+		s.params = tech.CMOS3()
+	default:
+		return nil, fmt.Errorf("unknown technology %q", cfg.Tech)
+	}
+	switch cfg.Tables {
+	case "char":
+		tb, err := charlib.Default(s.params)
+		if err != nil {
+			return nil, fmt.Errorf("characterization failed: %v", err)
+		}
+		s.tables = tb
+	case "analytic":
+		s.tables = delay.AnalyticTables(s.params)
+	default:
+		return nil, fmt.Errorf("unknown tables %q (want char or analytic)", cfg.Tables)
+	}
+	m, err := delay.ByName(cfg.Model, s.tables)
+	if err != nil {
+		return nil, err
+	}
+	s.model = m
+	nw, err := netlist.ReadSim(cfg.Name, s.params, strings.NewReader(cfg.Sim))
+	if err != nil {
+		return nil, err
+	}
+	if err := nw.Check(); err != nil {
+		return nil, err
+	}
+	s.nw = nw
+	return s, nil
+}
+
+// buildAnalyzer constructs a fresh analyzer over the session's current
+// network generation with the session's directives, optionally adopting a
+// stage database from a previous analyzer over the same generation.
+// Callers hold s.mu.
+func (s *session) buildAnalyzer(workers int, db *core.Analyzer) (*core.Analyzer, error) {
+	opts := core.Options{Workers: workers}
+	if db != nil {
+		opts.DB = db.StageDB()
+	}
+	for _, name := range s.cfg.LoopBreak {
+		n := s.nw.Lookup(name)
+		if n == nil {
+			return nil, fmt.Errorf("loopbreak: no node named %q", name)
+		}
+		opts.LoopBreak = append(opts.LoopBreak, n)
+	}
+	a := core.New(s.nw, s.model, opts)
+	fixed := map[string]bool{}
+	for name, val := range s.cfg.Fix {
+		n := s.nw.Lookup(name)
+		if n == nil {
+			return nil, fmt.Errorf("fix: no node named %q", name)
+		}
+		switch val {
+		case "0":
+			a.SetFixed(n, switchsim.V0)
+		case "1":
+			a.SetFixed(n, switchsim.V1)
+		default:
+			return nil, fmt.Errorf("fix: bad value %q for %s (want 0 or 1)", val, name)
+		}
+		fixed[name] = true
+	}
+	seeded := false
+	for _, name := range s.cfg.Rise {
+		if err := a.SetInputEventName(name, tech.Rise, 0, s.cfg.Slope); err != nil {
+			return nil, err
+		}
+		seeded = true
+	}
+	for _, name := range s.cfg.Fall {
+		if err := a.SetInputEventName(name, tech.Fall, 0, s.cfg.Slope); err != nil {
+			return nil, err
+		}
+		seeded = true
+	}
+	if !seeded {
+		for _, in := range s.nw.Inputs() {
+			if fixed[in.Name] {
+				continue
+			}
+			if err := a.SetInputEvent(in, tech.Rise, 0, s.cfg.Slope); err != nil {
+				return nil, err
+			}
+			if err := a.SetInputEvent(in, tech.Fall, 0, s.cfg.Slope); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return a, nil
+}
+
+// buildSnapshot assembles the read view from the current analysis state.
+// Callers hold s.mu and have completed a run.
+func (s *session) buildSnapshot() *Snapshot {
+	a := s.a
+	snap := &Snapshot{
+		Epoch:           a.StageDB().Epoch,
+		StagesEvaluated: a.StagesEvaluated(),
+		Truncated:       a.Truncated,
+	}
+	for _, n := range a.Unbounded {
+		snap.Unbounded = append(snap.Unbounded, n.Name)
+	}
+	var b strings.Builder
+	st := a.Net.Stats()
+	fmt.Fprintf(&b, "crystald: %s — %d transistors, %d nodes (%s tables)\n",
+		a.Net.Name, st.Trans, st.Nodes, s.tables.Source)
+	a.WriteReport(&b, s.cfg.Top)
+	snap.Report = b.String()
+	for _, p := range a.CriticalPaths(s.cfg.Top) {
+		end := p.End()
+		pj := PathJSON{
+			Endpoint: end.Node.Name,
+			Tr:       end.Tr.String(),
+			T:        end.Event.T,
+			Slope:    end.Event.Slope,
+		}
+		for _, h := range p.Hops {
+			hop := PathHop{Node: h.Node.Name, Tr: h.Tr.String(), T: h.Event.T, Slope: h.Event.Slope}
+			if h.Event.Via != nil {
+				hop.Via = h.Event.Via.String()
+			}
+			pj.Hops = append(pj.Hops, hop)
+		}
+		snap.Paths = append(snap.Paths, pj)
+	}
+	if len(snap.Paths) > 0 {
+		snap.CriticalNs = snap.Paths[0].T * 1e9
+	}
+	s.snap.Store(snap)
+	return snap
+}
