@@ -6,6 +6,8 @@
 package repro
 
 import (
+	"bytes"
+	"crypto/sha256"
 	"fmt"
 	"math"
 	"runtime"
@@ -20,6 +22,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/gen"
 	"repro/internal/incremental"
+	"repro/internal/netlist"
 	"repro/internal/stage"
 	"repro/internal/switchsim"
 	"repro/internal/tech"
@@ -424,6 +427,109 @@ func BenchmarkE8RCBounds(b *testing.B) {
 	}
 	b.ReportMetric(contained/float64(len(rows)), "containment")
 	b.ReportMetric(width/float64(len(rows)), "relwidth")
+}
+
+// --- Ingest benchmarks (parse throughput and snapshot load) -----------------
+
+var (
+	ingestOnce  sync.Once
+	ingestSim   []byte
+	ingestSnap  []byte
+	ingestTrans int
+)
+
+// ingestCorpus emits the E6 chip (the largest generated design) as .sim
+// text once, along with its .simx snapshot, so every ingest benchmark
+// measures the same chip-scale input: ~1 MB of netlist.
+func ingestCorpus(b *testing.B) {
+	b.Helper()
+	ingestOnce.Do(func() {
+		p := tech.NMOS4()
+		nw, err := gen.Chip(p, 32)
+		if err != nil {
+			panic(err)
+		}
+		var buf bytes.Buffer
+		if err := netlist.WriteSim(&buf, nw); err != nil {
+			panic(err)
+		}
+		ingestSim = buf.Bytes()
+		// Snapshot the parsed form so node indexing matches what the
+		// parse benchmarks build (generator order differs).
+		parsed, err := netlist.ReadSimParallel("chip", p, bytes.NewReader(ingestSim), 1)
+		if err != nil {
+			panic(err)
+		}
+		ingestTrans = len(parsed.Trans)
+		var snap bytes.Buffer
+		if err := netlist.WriteSnapshot(&snap, parsed, sha256.Sum256(ingestSim)); err != nil {
+			panic(err)
+		}
+		ingestSnap = snap.Bytes()
+	})
+}
+
+// benchIngestParse measures the cold half of the ingest pipeline as
+// LoadSimFile runs it: parse plus the structural Check (a snapshot is
+// only ever written after Check passes, so a warm load skips both).
+func benchIngestParse(b *testing.B, workers int) {
+	ingestCorpus(b)
+	p := tech.NMOS4()
+	b.SetBytes(int64(len(ingestSim)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw, err := netlist.ReadSimParallel("chip", p, bytes.NewReader(ingestSim), workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := nw.Check(); err != nil {
+			b.Fatal(err)
+		}
+		if len(nw.Trans) != ingestTrans {
+			b.Fatalf("parsed %d transistors, want %d", len(nw.Trans), ingestTrans)
+		}
+	}
+	perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	b.ReportMetric(perOp/float64(ingestTrans), "ns/transistor")
+	b.ReportMetric(float64(len(ingestSim))/perOp*1e9/1e6, "MB/s")
+}
+
+// BenchmarkIngestParse measures .sim parse throughput of the chip-scale
+// netlist: the strict-serial parser and the chunked parallel parser at
+// increasing worker counts (results are byte-identical at every count;
+// scripts/bench.sh records the sweep into BENCH_4.json).
+func BenchmarkIngestParse(b *testing.B) {
+	counts := []int{1, 2, 4}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 2 && g != 4 {
+		counts = append(counts, g)
+	}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchIngestParse(b, w) })
+	}
+}
+
+// BenchmarkIngestSnapshotLoad measures decoding the same chip from its
+// binary .simx snapshot — the warm-start path that replaces the parse.
+// Compare ns/op against BenchmarkIngestParse/workers=1 for the
+// snapshot-vs-parse speedup.
+func BenchmarkIngestSnapshotLoad(b *testing.B) {
+	ingestCorpus(b)
+	p := tech.NMOS4()
+	wantHash := sha256.Sum256(ingestSim)
+	b.SetBytes(int64(len(ingestSnap)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw, hash, err := netlist.ReadSnapshot(bytes.NewReader(ingestSnap), p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if hash != wantHash || len(nw.Trans) != ingestTrans {
+			b.Fatal("snapshot decoded wrong network")
+		}
+	}
+	perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	b.ReportMetric(perOp/float64(ingestTrans), "ns/transistor")
+	b.ReportMetric(float64(len(ingestSnap))/perOp*1e9/1e6, "MB/s")
 }
 
 // --- Microbenchmarks of the analysis hot paths ------------------------------

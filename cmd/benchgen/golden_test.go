@@ -3,8 +3,12 @@ package main
 import (
 	"flag"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/tech"
 )
 
 // update rewrites the golden files instead of diffing against them:
@@ -49,6 +53,44 @@ func TestGoldenOutput(t *testing.T) {
 					golden, want, got)
 			}
 		})
+	}
+}
+
+// TestSnapshotEmission pins the warm-handoff contract: the .simx written
+// by `benchgen -snapshot` must be served as a fresh cache hit when
+// crystal-style ingest loads the sibling .sim file.
+func TestSnapshotEmission(t *testing.T) {
+	dir := t.TempDir()
+	simPath := filepath.Join(dir, "alu4.sim")
+	snapPath := filepath.Join(dir, "alu4.simx")
+
+	var out, diag strings.Builder
+	cfg := config{circuit: "alu:4", techName: "nmos-4u", snapshot: snapPath}
+	if err := run(cfg, &out, &diag); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(simPath, []byte(out.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	p := tech.NMOS4()
+	parsed, fromSnap, err := netlist.LoadSimFile(simPath, simPath, p, netlist.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromSnap {
+		t.Fatal("uncached load claimed a snapshot hit")
+	}
+	warm, fromSnap, err := netlist.LoadSimFile(simPath, simPath, p,
+		netlist.LoadOptions{Snapshot: snapPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fromSnap {
+		t.Fatal("benchgen-emitted snapshot was not served for the sibling .sim")
+	}
+	if derr := netlist.DiffNetworks(parsed, warm); derr != nil {
+		t.Fatalf("snapshot network differs from parsed .sim: %v", derr)
 	}
 }
 

@@ -5,10 +5,17 @@
 // Usage:
 //
 //	benchgen -list
-//	benchgen -circuit alu:8 [-tech nmos-4u] [-o alu8.sim]
+//	benchgen -circuit alu:8 [-tech nmos-4u] [-o alu8.sim] [-snapshot alu8.simx]
+//
+// -snapshot additionally writes a binary .simx snapshot keyed by the
+// hash of the emitted .sim text, so a following
+// `crystal -sim alu8.sim -snapshot alu8.simx` starts warm without ever
+// parsing (see docs/PERFORMANCE.md, "Ingest").
 package main
 
 import (
+	"bytes"
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"io"
@@ -23,6 +30,7 @@ import (
 type config struct {
 	circuit  string
 	techName string
+	snapshot string
 	list     bool
 }
 
@@ -31,6 +39,7 @@ func main() {
 	flag.StringVar(&cfg.circuit, "circuit", "", "circuit spec, e.g. alu:8 or passchain:6")
 	flag.StringVar(&cfg.techName, "tech", "nmos-4u", "technology: nmos-4u or cmos-3u")
 	out := flag.String("o", "", "output file (default stdout)")
+	flag.StringVar(&cfg.snapshot, "snapshot", "", "also write a binary .simx snapshot of the circuit to this file")
 	flag.BoolVar(&cfg.list, "list", false, "list available circuits")
 	flag.Parse()
 
@@ -77,8 +86,28 @@ func run(cfg config, w, diag io.Writer) error {
 	if err := nw.Check(); err != nil {
 		return err
 	}
-	if err := netlist.WriteSim(w, nw); err != nil {
+	// Emit through a buffer: the snapshot's freshness hash must cover the
+	// exact .sim bytes so a later `crystal -sim f.sim -snapshot f.simx`
+	// validates it against the file on disk.
+	var buf bytes.Buffer
+	if err := netlist.WriteSim(&buf, nw); err != nil {
 		return err
+	}
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return err
+	}
+	if cfg.snapshot != "" {
+		// Snapshot the network as a reader of the emitted text would see
+		// it — node indexes follow textual first-appearance order, not the
+		// generator's construction order — so a warm load is byte-identical
+		// to a cold parse of the .sim file.
+		reparsed, err := netlist.ReadSimParallel(nw.Name, p, bytes.NewReader(buf.Bytes()), 0)
+		if err != nil {
+			return fmt.Errorf("reparsing emitted circuit: %w", err)
+		}
+		if err := netlist.WriteSnapshotFile(cfg.snapshot, reparsed, sha256.Sum256(buf.Bytes())); err != nil {
+			return err
+		}
 	}
 	st := nw.Stats()
 	fmt.Fprintf(diag, "benchgen: %s — %d transistors, %d nodes, %d inputs, %d outputs\n",

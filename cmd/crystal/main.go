@@ -9,14 +9,18 @@
 //	crystal -sim alu8.sim [-tech nmos-4u] [-model slope] [-tables char]
 //	        [-rise a0,b0] [-fall a0] [-fix ctl=1,en=0] [-slope 1e-9]
 //	        [-top 5] [-erc] [-deadline 200e-9] [-workers 1]
+//	        [-snapshot alu8.simx]
 //
 // With no -rise/-fall flags every node marked "@ in" in the netlist
 // toggles in both directions at t=0, the fully vectorless worst case.
 // With -deadline, a slack report follows the critical paths and the exit
 // status is 2 if any endpoint misses the deadline. -workers parallelizes
-// the drain of this single analysis (0 selects all cores); arrival times
-// and reports are bit-identical at every worker count, so the flag is
-// purely a speed knob.
+// both the .sim parse and the drain of this single analysis (0 selects
+// all cores); arrival times and reports are bit-identical at every
+// worker count, so the flag is purely a speed knob. -snapshot names a
+// binary .simx cache for the parsed netlist: fresh (same source bytes,
+// same tech) it is loaded in place of parsing, otherwise it is
+// rewritten after the parse (see docs/PERFORMANCE.md, "Ingest").
 package main
 
 import (
@@ -40,6 +44,7 @@ import (
 // config collects everything main parses from flags; run executes it.
 type config struct {
 	simFile   string
+	snapshot  string
 	techName  string
 	model     string
 	tables    string
@@ -99,6 +104,7 @@ func profileStop(memprof string) error {
 func main() {
 	var cfg config
 	flag.StringVar(&cfg.simFile, "sim", "", "input .sim netlist (required)")
+	flag.StringVar(&cfg.snapshot, "snapshot", "", "binary .simx netlist cache: load it when fresh, rewrite it after a parse")
 	flag.StringVar(&cfg.techName, "tech", "nmos-4u", "technology: nmos-4u or cmos-3u")
 	flag.StringVar(&cfg.model, "model", "slope", "delay model: lumped, rc, or slope")
 	flag.StringVar(&cfg.tables, "tables", "char", "delay tables: char or analytic")
@@ -153,16 +159,9 @@ func run(cfg config, w io.Writer) (int, error) {
 		return 0, fmt.Errorf("unknown technology %q", cfg.techName)
 	}
 
-	f, err := os.Open(cfg.simFile)
+	nw, _, err := netlist.LoadSimFile(cfg.simFile, cfg.simFile, p,
+		netlist.LoadOptions{Workers: cfg.workers, Snapshot: cfg.snapshot})
 	if err != nil {
-		return 0, err
-	}
-	nw, err := netlist.ReadSim(cfg.simFile, p, f)
-	f.Close()
-	if err != nil {
-		return 0, err
-	}
-	if err := nw.Check(); err != nil {
 		return 0, err
 	}
 

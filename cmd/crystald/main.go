@@ -8,7 +8,13 @@
 // Usage:
 //
 //	crystald [-addr :8653] [-max-sessions 16] [-workers 0]
-//	         [-drain-timeout 30s]
+//	         [-drain-timeout 30s] [-snapshot-dir DIR]
+//
+// With -snapshot-dir, every parsed session is persisted as a binary
+// .simx snapshot keyed by its content hash, and a POST of identical
+// content — including after a daemon restart — loads the snapshot
+// instead of re-parsing the .sim text (see docs/PERFORMANCE.md,
+// "Ingest").
 //
 // The API is documented in docs/SERVER.md. On SIGTERM/SIGINT the daemon
 // drains gracefully: the listener closes immediately, in-flight requests
@@ -38,11 +44,13 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 16, "LRU session cache bound (memory knob)")
 	workers := flag.Int("workers", 0, "default drain parallelism per analysis (0 = all cores)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown grace period")
+	snapshotDir := flag.String("snapshot-dir", "", "persist .simx session snapshots here for warm starts (empty = disabled)")
 	flag.Parse()
 
 	sv := server.New(server.Options{
 		MaxSessions:    *maxSessions,
 		DefaultWorkers: *workers,
+		SnapshotDir:    *snapshotDir,
 	})
 	// The service metrics through the stock expvar protocol, next to the
 	// runtime's memstats/cmdline vars.

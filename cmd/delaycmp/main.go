@@ -7,7 +7,13 @@
 // Usage:
 //
 //	delaycmp [-tech nmos-4u|cmos-3u] [-exp e2,e3,...|all] [-tables char|analytic]
-//	         [-workers N] [-cpuprofile f] [-memprofile f]
+//	         [-workers N] [-snapshot DIR] [-cpuprofile f] [-memprofile f]
+//
+// -snapshot names a directory of .simx caches for the generated E6/E7
+// blocks: on first use each block's network is written there, and later
+// runs load the snapshots instead of regenerating the circuits. The
+// cache is keyed by block name and technology only — clear the
+// directory after changing the circuit generators.
 package main
 
 import (
@@ -32,6 +38,7 @@ type config struct {
 	tables   string
 	format   string
 	workers  int
+	snapshot string
 }
 
 func main() {
@@ -41,6 +48,7 @@ func main() {
 	flag.StringVar(&cfg.tables, "tables", "char", "delay tables: char (characterized) or analytic")
 	flag.StringVar(&cfg.format, "format", "table", "output for accuracy experiments: table or csv")
 	flag.IntVar(&cfg.workers, "workers", 0, "worker goroutines for independent rows (0 = all cores, 1 = serial)")
+	flag.StringVar(&cfg.snapshot, "snapshot", "", "directory of .simx caches for generated blocks (cleared manually when generators change)")
 	cpuprof := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprof := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -80,6 +88,7 @@ func main() {
 // out from main for testing.
 func run(cfg config, w io.Writer) error {
 	experiments.Workers = cfg.workers
+	experiments.SnapshotDir = cfg.snapshot
 
 	var p *tech.Params
 	switch cfg.techName {

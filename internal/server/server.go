@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
@@ -42,8 +43,15 @@ type Options struct {
 	// is the daemon's memory knob; see docs/SERVER.md for sizing.
 	MaxSessions int
 	// DefaultWorkers is the drain parallelism when a request does not set
-	// one (0 selects GOMAXPROCS).
+	// one (0 selects GOMAXPROCS); session loads use the same setting for
+	// the parallel .sim tokenizer.
 	DefaultWorkers int
+	// SnapshotDir, when non-empty, enables the .simx warm-start cache:
+	// every parsed session is persisted there keyed by its content hash,
+	// and a later POST of identical content — including after a daemon
+	// restart — loads the binary snapshot instead of re-parsing. The
+	// directory is created if missing.
+	SnapshotDir string
 }
 
 func (o Options) fill() Options {
@@ -69,8 +77,15 @@ type Server struct {
 
 // New creates a server.
 func New(opts Options) *Server {
+	opts = opts.fill()
+	if opts.SnapshotDir != "" {
+		if err := os.MkdirAll(opts.SnapshotDir, 0o755); err != nil {
+			// No cache directory, no cache — the daemon still serves.
+			opts.SnapshotDir = ""
+		}
+	}
 	sv := &Server{
-		opts:   opts.fill(),
+		opts:   opts,
 		mux:    http.NewServeMux(),
 		byID:   make(map[string]*list.Element),
 		byHash: make(map[string]*list.Element),
@@ -176,8 +191,12 @@ func (sv *Server) markEdited(s *session) {
 
 // createResponse is the POST /v1/sessions reply.
 type createResponse struct {
-	Session     string `json:"session"`
-	Cached      bool   `json:"cached"`
+	Session string `json:"session"`
+	Cached  bool   `json:"cached"`
+	// Source reports how the network was obtained: "parse" or
+	// "snapshot" (loaded from the .simx warm-start cache, no parsing).
+	// Empty when the snapshot cache is disabled.
+	Source      string `json:"source,omitempty"`
 	Name        string `json:"name"`
 	Tech        string `json:"tech"`
 	Model       string `json:"model"`
@@ -217,10 +236,20 @@ func (sv *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if sv.lookup(id) != nil { // hash prefix taken by a diverged session
 		id = fmt.Sprintf("%s.%d", hash[:12], seq)
 	}
-	s, err := newSession(id, cfg)
+	s, err := newSession(id, cfg, sv.opts.SnapshotDir, sv.opts.DefaultWorkers)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	if sv.opts.SnapshotDir != "" {
+		if s.source == "snapshot" {
+			sv.m.snapshotHits.Add(1)
+		} else {
+			sv.m.snapshotMisses.Add(1)
+		}
+		if s.snapWrote {
+			sv.m.snapshotWrites.Add(1)
+		}
 	}
 	sv.insert(s)
 	sv.m.sessionsCreated.Add(1)
@@ -229,11 +258,15 @@ func (sv *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 
 func (sv *Server) describe(s *session, cached bool) createResponse {
 	st := s.nw.Stats()
-	return createResponse{
+	resp := createResponse{
 		Session: s.id, Cached: cached,
 		Name: s.cfg.Name, Tech: s.cfg.Tech, Model: s.cfg.Model, Tables: s.cfg.Tables,
 		Nodes: st.Nodes, Transistors: st.Trans,
 	}
+	if sv.opts.SnapshotDir != "" {
+		resp.Source = s.source
+	}
+	return resp
 }
 
 // sessionInfo is one row of GET /v1/sessions (and the GET /{id} body).

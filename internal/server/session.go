@@ -17,6 +17,8 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -153,6 +155,13 @@ type session struct {
 	hash string
 	cfg  SessionConfig
 
+	// source records how the network was obtained: "parse" (the .sim
+	// text went through ReadSimParallel) or "snapshot" (a fresh .simx
+	// cache entry was loaded and parsing was skipped entirely).
+	source string
+	// snapWrote reports that this load persisted a new snapshot.
+	snapWrote bool
+
 	params *tech.Params
 	tables *delay.Tables
 	model  delay.Model
@@ -168,10 +177,20 @@ type session struct {
 	snap atomic.Pointer[Snapshot]
 }
 
-// newSession parses the source and prepares (but does not run) the
+// newSession loads the network — from the .simx snapshot cache when
+// snapDir holds a fresh entry, otherwise by parsing the source with
+// `workers` tokenizer workers — and prepares (but does not run) the
 // analysis.
-func newSession(id string, cfg SessionConfig) (*session, error) {
-	s := &session{id: id, hash: cfg.hash(), cfg: cfg}
+//
+// Snapshot entries are keyed by the session content hash (the same key
+// the LRU dedup uses), so any config change — source text, tech, name,
+// directives — selects a different file; the embedded SHA-256 of the
+// .sim text and the technology name are re-validated on load, and any
+// mismatch or decode failure falls back to a parse. A snapshot is only
+// ever written after the parsed network passed Check, so a snapshot hit
+// skips both the parse and the structural check.
+func newSession(id string, cfg SessionConfig, snapDir string, workers int) (*session, error) {
+	s := &session{id: id, hash: cfg.hash(), cfg: cfg, source: "parse"}
 	switch cfg.Tech {
 	case "nmos-4u", "nmos":
 		s.params = tech.NMOS4()
@@ -197,7 +216,16 @@ func newSession(id string, cfg SessionConfig) (*session, error) {
 		return nil, err
 	}
 	s.model = m
-	nw, err := netlist.ReadSim(cfg.Name, s.params, strings.NewReader(cfg.Sim))
+	var snapPath string
+	simHash := sha256.Sum256([]byte(cfg.Sim))
+	if snapDir != "" {
+		snapPath = filepath.Join(snapDir, s.hash+".simx")
+		if nw, ok := loadSessionSnapshot(snapPath, cfg.Name, s.params, simHash); ok {
+			s.nw, s.source = nw, "snapshot"
+			return s, nil
+		}
+	}
+	nw, err := netlist.ReadSimParallel(cfg.Name, s.params, strings.NewReader(cfg.Sim), workers)
 	if err != nil {
 		return nil, err
 	}
@@ -205,7 +233,30 @@ func newSession(id string, cfg SessionConfig) (*session, error) {
 		return nil, err
 	}
 	s.nw = nw
+	if snapPath != "" {
+		// Cache write is best effort: a full snapshot directory or
+		// permission problem must not fail the load.
+		if err := netlist.WriteSnapshotFile(snapPath, nw, simHash); err == nil {
+			s.snapWrote = true
+		}
+	}
 	return s, nil
+}
+
+// loadSessionSnapshot loads a .simx file and validates it against the
+// wanted network name, technology and source hash. Any failure is a
+// cache miss.
+func loadSessionSnapshot(path, name string, p *tech.Params, simHash [32]byte) (*netlist.Network, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	nw, gotHash, err := netlist.ReadSnapshot(f, p)
+	if err != nil || gotHash != simHash || nw.Name != name {
+		return nil, false
+	}
+	return nw, true
 }
 
 // buildAnalyzer constructs a fresh analyzer over the session's current

@@ -3,8 +3,12 @@
 # analysis) three times each and writes BENCH_1.json: the fresh runs plus
 # the pinned pre-optimization baseline, so the speedup is always visible
 # in one file. Then runs the incremental re-analysis benchmark and writes
-# BENCH_2.json with the incremental-vs-full speedup. Usage:
-# scripts/bench.sh (from the repo root, or via `make bench`).
+# BENCH_2.json with the incremental-vs-full speedup, the worker-scaling
+# sweep into BENCH_3.json, and the ingest (parse/snapshot) throughput
+# record into BENCH_4.json. The scaling sweeps refuse to run on a
+# single-CPU box unless BENCH_ALLOW_SINGLE_CPU=1, and are then stamped
+# degenerate — see the guard below. Usage: scripts/bench.sh (from the
+# repo root, or via `make bench`).
 set -e
 cd "$(dirname "$0")/.."
 
@@ -89,6 +93,28 @@ END {
 echo "wrote $OUT2"
 cat "$OUT2"
 
+# Scaling sweeps (BENCH_3, BENCH_4) are meaningless on one CPU: every
+# workers>1 row then measures pure coordination overhead, and a reader
+# comparing rows would conclude parallelism is a regression. Run the
+# sweeps under GOMAXPROCS=nproc explicitly, and when that is still 1,
+# refuse unless BENCH_ALLOW_SINGLE_CPU=1 — in which case every emitted
+# JSON is stamped "degenerate_single_cpu": true so the numbers cannot be
+# mistaken for a scaling record.
+procs=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)
+sweep_procs=${GOMAXPROCS:-$procs}
+degenerate=false
+if [ "$sweep_procs" = 1 ]; then
+    degenerate=true
+    if [ "${BENCH_ALLOW_SINGLE_CPU:-0}" != 1 ]; then
+        echo "bench.sh: REFUSING the worker-scaling sweeps: GOMAXPROCS=$sweep_procs." >&2
+        echo "bench.sh: workers>1 rows on one CPU measure overhead, not scaling." >&2
+        echo "bench.sh: set BENCH_ALLOW_SINGLE_CPU=1 to record anyway (annotated as degenerate)." >&2
+        exit 1
+    fi
+    echo "bench.sh: WARNING: GOMAXPROCS=1 — scaling sweeps are degenerate;" >&2
+    echo "bench.sh: WARNING: annotating BENCH_3/BENCH_4 with degenerate_single_cpu=true." >&2
+fi
+
 # BENCH_3.json: single-run scaling of the parallel intra-run drain.
 # BenchmarkE6ChipScaleWorkers analyzes the same chip at 1, 2, 4 and
 # GOMAXPROCS workers (deduplicated); results are bit-identical at every
@@ -96,7 +122,7 @@ cat "$OUT2"
 # drain. On a single-core runner the >1 rows measure pure speculation
 # overhead — see docs/PERFORMANCE.md, "Single-run scaling".
 OUT3=BENCH_3.json
-go test -run '^$' -bench 'BenchmarkE6ChipScaleWorkers' \
+GOMAXPROCS=$sweep_procs go test -run '^$' -bench 'BenchmarkE6ChipScaleWorkers' \
     -benchtime 1x -count 3 . | tee "$RAW"
 
 awk '
@@ -120,6 +146,7 @@ END {
     base = median(runs[order[1]])
     printf "{\n  \"benchmark\": \"BenchmarkE6ChipScaleWorkers\",\n"
     printf "  \"gomaxprocs\": %s,\n", procs
+    printf "  \"degenerate_single_cpu\": %s,\n", degenerate
     printf "  \"workers\": {\n"
     for (i = 1; i <= nw; i++) {
         w = order[i]
@@ -133,7 +160,82 @@ END {
         printf "    }%s\n", i < nw ? "," : ""
     }
     printf "  }\n}\n"
-}' procs="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)" "$RAW" > "$OUT3"
+}' procs="$sweep_procs" degenerate="$degenerate" "$RAW" > "$OUT3"
 
 echo "wrote $OUT3"
 cat "$OUT3"
+
+# BENCH_4.json: ingest throughput. BenchmarkIngestParse measures the cold
+# half of the pipeline (parse + structural check, the work LoadSimFile
+# does on a cache miss) serially and at increasing parallel-parser worker
+# counts; BenchmarkIngestSnapshotLoad measures the warm half (decoding
+# the binary .simx snapshot that replaces the parse). The headline
+# ratios: parallel parse speedup at the widest worker count, and
+# snapshot-load speedup over the serial parse.
+OUT4=BENCH_4.json
+GOMAXPROCS=$sweep_procs go test -run '^$' \
+    -bench 'BenchmarkIngestParse|BenchmarkIngestSnapshotLoad' \
+    -benchtime 10x -count 3 . | tee "$RAW"
+
+awk '
+/^BenchmarkIngestParse\// {
+    name = $1
+    sub(/^BenchmarkIngestParse\/workers=/, "", name)
+    sub(/-[0-9]+$/, "", name)
+    runs[name] = runs[name] $3 ","
+    if (!(name in seen)) { order[++nw] = name; seen[name] = 1 }
+    for (i = 5; i < NF; i += 2) {
+        if ($(i + 1) == "MB/s")          mbs[name] = mbs[name] $i ","
+        if ($(i + 1) == "ns/transistor") nst[name] = nst[name] $i ","
+    }
+}
+/^BenchmarkIngestSnapshotLoad/ {
+    sruns = sruns $3 ","
+    for (i = 5; i < NF; i += 2) {
+        if ($(i + 1) == "MB/s")          smbs = smbs $i ","
+        if ($(i + 1) == "ns/transistor") snst = snst $i ","
+    }
+}
+function median(csv,   r, n, i, j, t) {
+    sub(/,$/, "", csv)
+    n = split(csv, r, ",")
+    for (i = 1; i < n; i++)
+        for (j = i + 1; j <= n; j++)
+            if (r[j] + 0 < r[i] + 0) { t = r[i]; r[i] = r[j]; r[j] = t }
+    return r[int((n + 1) / 2)]
+}
+END {
+    serial = median(runs["1"])
+    widest = order[nw]
+    printf "{\n  \"benchmark\": \"ingest\",\n"
+    printf "  \"gomaxprocs\": %s,\n", procs
+    printf "  \"degenerate_single_cpu\": %s,\n", degenerate
+    printf "  \"parse_workers\": {\n"
+    for (i = 1; i <= nw; i++) {
+        w = order[i]
+        csv = runs[w]
+        sub(/,$/, "", csv)
+        printf "    \"%s\": {\n", w
+        printf "      \"runs_ns_op\": [%s],\n", csv
+        printf "      \"median_ns_op\": %s,\n", median(runs[w])
+        printf "      \"mb_per_s\": %s,\n", median(mbs[w])
+        printf "      \"ns_per_transistor\": %s,\n", median(nst[w])
+        printf "      \"speedup_vs_serial\": %.2f\n", serial / median(runs[w])
+        printf "    }%s\n", i < nw ? "," : ""
+    }
+    printf "  },\n"
+    printf "  \"snapshot_load\": {\n"
+    scsv = sruns
+    sub(/,$/, "", scsv)
+    printf "    \"runs_ns_op\": [%s],\n", scsv
+    printf "    \"median_ns_op\": %s,\n", median(sruns)
+    printf "    \"mb_per_s\": %s,\n", median(smbs)
+    printf "    \"ns_per_transistor\": %s\n", median(snst)
+    printf "  },\n"
+    printf "  \"parallel_parse_speedup_at_%s_workers\": %.2f,\n", widest, serial / median(runs[widest])
+    printf "  \"snapshot_speedup_vs_serial_parse\": %.2f\n", serial / median(sruns)
+    printf "}\n"
+}' procs="$sweep_procs" degenerate="$degenerate" "$RAW" > "$OUT4"
+
+echo "wrote $OUT4"
+cat "$OUT4"

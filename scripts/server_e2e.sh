@@ -7,6 +7,11 @@
 # epoch counters, cache and incremental-engine counters — is pinned
 # exactly, because analysis results are deterministic.
 #
+# The daemon runs with a snapshot directory, and the script restarts it
+# mid-transcript: the post-restart create must load from the .simx cache
+# (source == "snapshot" — asserted hard, beyond the golden diff), with
+# the subsequent analyze report byte-identical to the cold one.
+#
 #   scripts/server_e2e.sh            verify against the golden
 #   scripts/server_e2e.sh --update   regenerate the golden
 set -euo pipefail
@@ -20,15 +25,24 @@ workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
 go build -o "$workdir/crystald" ./cmd/crystald
 
-"$workdir/crystald" -addr "$addr" -workers 2 &
-daemon=$!
-trap 'kill "$daemon" 2>/dev/null || true; wait "$daemon" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+snapdir="$workdir/snapshots"
+daemon=""
+start_daemon() {
+  "$workdir/crystald" -addr "$addr" -workers 2 -snapshot-dir "$snapdir" &
+  daemon=$!
+  for i in $(seq 100); do
+    if curl -sf "$base/healthz" >/dev/null 2>&1; then return; fi
+    if [ "$i" = 100 ]; then echo "crystald did not come up on $addr" >&2; exit 1; fi
+    sleep 0.1
+  done
+}
+stop_daemon() {
+  kill "$daemon" 2>/dev/null || true
+  wait "$daemon" 2>/dev/null || true
+}
+trap 'stop_daemon; rm -rf "$workdir"' EXIT
 
-for i in $(seq 100); do
-  if curl -sf "$base/healthz" >/dev/null 2>&1; then break; fi
-  if [ "$i" = 100 ]; then echo "crystald did not come up on $addr" >&2; exit 1; fi
-  sleep 0.1
-done
+start_daemon
 
 # Zero the wall-clock fields so the transcript is byte-stable.
 norm='walk(if type == "object" then
@@ -62,6 +76,28 @@ transcript() {
   curl -s "$base/v1/sessions" | jq -S "$norm"
 
   echo "== metrics =="
+  curl -s "$base/metrics" | jq -S "$norm"
+
+  echo "== restart =="
+  stop_daemon
+  start_daemon
+
+  echo "== warm create =="
+  warm=$(curl -s -X POST "$base/v1/sessions" -d "$cfg")
+  echo "$warm" | jq -S "$norm"
+  # The acceptance assertion: a restarted daemon must open this session
+  # from the snapshot cache, skipping ReadSim entirely.
+  src=$(echo "$warm" | jq -r .source)
+  if [ "$src" != "snapshot" ]; then
+    echo "server_e2e: warm create source=$src, want snapshot" >&2
+    exit 1
+  fi
+  wsid=$(echo "$warm" | jq -r .session)
+
+  echo "== warm analyze =="
+  curl -s -X POST "$base/v1/sessions/$wsid/analyze" -d '{"workers":2}' | jq -S "$norm"
+
+  echo "== warm metrics =="
   curl -s "$base/metrics" | jq -S "$norm"
 }
 
