@@ -2,7 +2,7 @@
 # checks, the race-mode short suite, and a full build.
 GO ?= go
 
-.PHONY: all build vet test race bench
+.PHONY: all build vet test race bench bench-scaling
 
 all: vet race build
 
@@ -24,3 +24,9 @@ race:
 # three runs each, recorded in BENCH_1.json next to the seed baseline.
 bench:
 	./scripts/bench.sh
+
+# Scaling + locality records only (BENCH_3/4/5): the worker sweeps, the
+# ingest throughput sweep, and the interleaved reorder A/B with fence
+# counters. Refuses single-CPU runners unless BENCH_ALLOW_SINGLE_CPU=1.
+bench-scaling:
+	BENCH_ONLY=scaling ./scripts/bench.sh

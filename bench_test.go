@@ -253,6 +253,7 @@ func benchE6Chip(b *testing.B, workers int) {
 	tb := delay.AnalyticTables(p)
 	var trans, stages int
 	var crit float64
+	var drain core.DrainStats
 	for i := 0; i < b.N; i++ {
 		nw, err := gen.Chip(p, 32)
 		if err != nil {
@@ -290,11 +291,106 @@ func benchE6Chip(b *testing.B, workers int) {
 		}
 		crit = ev.T
 		stages = a.StagesEvaluated()
+		drain = a.DrainStats()
 	}
 	b.ReportMetric(float64(trans), "transistors")
 	b.ReportMetric(float64(stages), "stages")
 	b.ReportMetric(crit*1e9, "ns-crit")
 	b.ReportMetric(float64(trans)/b.Elapsed().Seconds()*float64(b.N), "trans/s")
+	// Parallel drains publish their fence counters so bench.sh can record
+	// them (BENCH_5) even when the scaling itself is degenerate.
+	if workers > 1 && drain.Batches > 0 {
+		b.ReportMetric(float64(drain.BatchItems)/float64(drain.Batches), "batch-size")
+		b.ReportMetric(float64(drain.FenceStalls), "fence-stalls")
+		b.ReportMetric(float64(drain.CommitDepth), "commit-depth")
+		if drain.SpecLive > 0 {
+			b.ReportMetric(float64(drain.SpecUsed)/float64(drain.SpecLive), "occupancy")
+		}
+		b.ReportMetric(float64(drain.Regions), "regions")
+	}
+}
+
+// BenchmarkE6ReorderAB is the interleaved locality A/B: per iteration it
+// analyzes the same chip-scale network twice on the same runner — once
+// with the RCM row reordering, once with the identity layout, order
+// alternating so neither side systematically inherits a warm cache — and
+// reports the per-side median analysis times plus the improvement. The
+// network is built once; only compile + seed + drain is timed, which is
+// exactly the region the permutation can affect. Recorded by
+// scripts/bench.sh into BENCH_5.json.
+func BenchmarkE6ReorderAB(b *testing.B) {
+	p := tech.NMOS4()
+	tb := delay.AnalyticTables(p)
+	nw, err := gen.Chip(p, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fixed, loopBreak := gen.ChipDirectives(32)
+
+	analyze := func(noReorder bool) (time.Duration, float64) {
+		opts := core.Options{Workers: 1, NoReorder: noReorder}
+		for _, name := range loopBreak {
+			if n := nw.Lookup(name); n != nil {
+				opts.LoopBreak = append(opts.LoopBreak, n)
+			}
+		}
+		start := time.Now()
+		a := core.New(nw, delay.NewSlope(tb), opts)
+		for name, v := range fixed {
+			n := nw.Lookup(name)
+			if n == nil {
+				b.Fatalf("missing directive node %s", name)
+			}
+			a.SetFixed(n, switchsim.FromBool(v == "1"))
+		}
+		for _, in := range nw.Inputs() {
+			if _, isFixed := fixed[in.Name]; isFixed {
+				continue
+			}
+			a.SetInputEvent(in, tech.Rise, 0, 0)
+			a.SetInputEvent(in, tech.Fall, 0, 0)
+		}
+		if err := a.Run(); err != nil {
+			b.Fatal(err)
+		}
+		d := time.Since(start)
+		ev, _ := a.MaxArrival()
+		if !ev.Valid {
+			b.Fatal("no arrival")
+		}
+		return d, ev.T
+	}
+
+	var on, off []time.Duration
+	for i := 0; i < b.N; i++ {
+		var dOn, dOff time.Duration
+		var tOn, tOff float64
+		if i%2 == 0 {
+			dOff, tOff = analyze(true)
+			dOn, tOn = analyze(false)
+		} else {
+			dOn, tOn = analyze(false)
+			dOff, tOff = analyze(true)
+		}
+		if tOn != tOff {
+			b.Fatalf("critical arrival differs: reorder on %g vs off %g", tOn, tOff)
+		}
+		on = append(on, dOn)
+		off = append(off, dOff)
+	}
+	medianNs := func(ds []time.Duration) float64 {
+		s := append([]time.Duration(nil), ds...)
+		for i := 1; i < len(s); i++ {
+			for j := i; j > 0 && s[j] < s[j-1]; j-- {
+				s[j], s[j-1] = s[j-1], s[j]
+			}
+		}
+		return float64(s[len(s)/2].Nanoseconds())
+	}
+	mOn, mOff := medianNs(on), medianNs(off)
+	b.ReportMetric(mOn, "ns-reorder-on")
+	b.ReportMetric(mOff, "ns-reorder-off")
+	b.ReportMetric((mOff-mOn)/mOff*100, "improvement-pct")
 }
 
 // BenchmarkE6Incremental measures the designer loop on the chip-scale

@@ -53,6 +53,7 @@ type config struct {
 	fix       string
 	inSlope   float64
 	workers   int
+	reorder   string
 	top       int
 	runERC    bool
 	deadline  float64
@@ -113,6 +114,7 @@ func main() {
 	flag.StringVar(&cfg.fix, "fix", "", "comma list of node=0|1 fixed values")
 	flag.Float64Var(&cfg.inSlope, "slope", 1e-9, "input transition time in seconds")
 	flag.IntVar(&cfg.workers, "workers", 1, "drain worker count for one analysis (0 = all cores); results are bit-identical at every setting")
+	flag.StringVar(&cfg.reorder, "reorder", "on", "cache-conscious node reordering of the compiled network: on or off (results are bit-identical either way)")
 	flag.IntVar(&cfg.top, "top", 5, "number of critical paths to print")
 	flag.BoolVar(&cfg.runERC, "erc", false, "run electrical rule checks before timing")
 	flag.Float64Var(&cfg.deadline, "deadline", 0, "if positive, print a slack report against this time (seconds)")
@@ -190,6 +192,13 @@ func run(cfg config, w io.Writer) (int, error) {
 	// Reports are built from arrivals, which are bit-identical at every
 	// worker count, so -workers only changes how fast the answer arrives.
 	opts := core.Options{Workers: cfg.workers}
+	switch cfg.reorder {
+	case "on", "":
+	case "off":
+		opts.NoReorder = true
+	default:
+		return 0, fmt.Errorf("-reorder: want on or off, got %q", cfg.reorder)
+	}
 	for _, name := range splitList(cfg.loopbreak) {
 		n := nw.Lookup(name)
 		if n == nil {

@@ -8,7 +8,7 @@
 // Usage:
 //
 //	crystald [-addr :8653] [-max-sessions 16] [-workers 0]
-//	         [-drain-timeout 30s] [-snapshot-dir DIR]
+//	         [-reorder on] [-drain-timeout 30s] [-snapshot-dir DIR]
 //
 // With -snapshot-dir, every parsed session is persisted as a binary
 // .simx snapshot keyed by its content hash, and a POST of identical
@@ -43,13 +43,19 @@ func main() {
 	addr := flag.String("addr", ":8653", "listen address")
 	maxSessions := flag.Int("max-sessions", 16, "LRU session cache bound (memory knob)")
 	workers := flag.Int("workers", 0, "default drain parallelism per analysis (0 = all cores)")
+	reorder := flag.String("reorder", "on", "cache-conscious node reordering of compiled networks: on or off (results are bit-identical either way)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown grace period")
 	snapshotDir := flag.String("snapshot-dir", "", "persist .simx session snapshots here for warm starts (empty = disabled)")
 	flag.Parse()
+	if *reorder != "on" && *reorder != "off" {
+		fmt.Fprintf(os.Stderr, "crystald: -reorder: want on or off, got %q\n", *reorder)
+		os.Exit(1)
+	}
 
 	sv := server.New(server.Options{
 		MaxSessions:    *maxSessions,
 		DefaultWorkers: *workers,
+		NoReorder:      *reorder == "off",
 		SnapshotDir:    *snapshotDir,
 	})
 	// The service metrics through the stock expvar protocol, next to the

@@ -85,6 +85,12 @@ type Options struct {
 	// further — the user directive Crystal required to cut combinational
 	// feedback (latch internals) out of the worst-case iteration.
 	LoopBreak []*netlist.Node
+	// NoReorder disables the cache-conscious RCM row layout of the
+	// compiled network (netlist.CompileWith) and keeps construction order.
+	// Results are bit-identical either way — the layout only changes which
+	// cache lines the drain touches — so this is purely the -reorder=off
+	// escape hatch and A/B lever.
+	NoReorder bool
 	// ReanalyzeMaxDirty is the dirty-node fraction above which Reanalyze
 	// abandons incremental propagation and redoes the analysis from
 	// scratch — past it, resetting and re-propagating most of the chip
@@ -115,20 +121,27 @@ type Analyzer struct {
 	sim    *switchsim.Sim
 	static []switchsim.Value // settled values under fixed inputs
 
-	events [][2]Event    // per node: [Rise, Fall]
+	// Per-node drain state, indexed by COMPILED ROW (a.cnet.Perm[node]),
+	// not node index: with the RCM layout on, electrically adjacent nodes
+	// share cache lines here too, which is where the drain spends its
+	// improve/commit loads. Everything semantic — queue items, provenance,
+	// reported indexes — stays in node-index space; only array addressing
+	// goes through the permutation (see row).
+	events [][2]Event    // per row: [Rise, Fall]
 	count  [][2]int      // improvement counters
 	hist   [][2]nodeHist // superseded-but-propagated events (incremental replay)
 
-	// histArena backs every nodeHist chain: chunks of recorded events
-	// linked by arena index, with histFree heading a free chain of chunks
-	// returned by dirty-node resets. The arena is pointer-free and grows
-	// in large doubling steps, so recording history costs the drain no
-	// per-event allocation and the collector no scan work — a naive
-	// []histEvent per (node, transition) re-entered the GC on every
-	// improvement and dominated the chip-scale run. Index 0 is a sentinel
-	// ("no chunk"), so the zero nodeHist is naturally empty.
-	histArena []histChunk
-	histFree  int32
+	// histBlocks backs every nodeHist chain: fixed-size blocks of chunks
+	// addressed by a flat int32 index, with histFree heading a free chain
+	// of chunks returned by dirty-node resets. Blocks are pointer-free
+	// and, once allocated, never move — the previous single-slice arena
+	// re-allocated and copied itself on every capacity step, and that
+	// growslice traffic (fresh pages, memmove, GC churn) billed ~25% of a
+	// chip-scale drain. Index 0 is a sentinel ("no chunk"), so the zero
+	// nodeHist is naturally empty.
+	histBlocks [][]histChunk
+	histLen    int32
+	histFree   int32
 
 	// Unbounded lists nodes whose arrival kept improving past the guard
 	// (combinational feedback); their times are lower bounds only.
@@ -145,12 +158,16 @@ type Analyzer struct {
 	queued       [][2]bool // per (node, transition): live entry in the queue
 	stageEv      int       // stages evaluated (cost metric)
 
-	// Parallel-drain scratch (see drain.go): frontier slots, the
-	// PopFrontier buffer, and the running minimum committed stage delay
-	// that fences speculation epochs.
-	spec     []specItem
-	fbuf     []sched.Item
-	minDelay float64
+	// Parallel-drain scratch (see drain.go): frontier slots, the frontier
+	// buffer, the per-region fence (each region's span tracks half the
+	// smallest stage delay committed into it, in minDelayR), and the
+	// cumulative drain counters.
+	spec      []specItem
+	fbuf      []sched.Item
+	fence     sched.RegionFence
+	minDelayR []float64
+	spans     []float64
+	stats     DrainStats
 
 	// db memoizes stage enumeration: sensitization is static during Run,
 	// so a trigger's stages never change. Either a private database or
@@ -210,42 +227,59 @@ type nodeHist struct {
 	propagated bool
 }
 
+// histBlockBits sizes arena blocks at 1<<histBlockBits chunks (~550 KiB
+// each): big enough that a chip-scale run allocates a handful of blocks,
+// small enough that gate-sized runs don't overcommit.
+const histBlockBits = 12
+
+// histChunkAt resolves a flat arena index to its chunk.
+func (a *Analyzer) histChunkAt(idx int32) *histChunk {
+	return &a.histBlocks[idx>>histBlockBits][idx&(1<<histBlockBits-1)]
+}
+
 // appendHist records one superseded-but-propagated event on h's chain.
 func (a *Analyzer) appendHist(h *nodeHist, t, slope float64) {
 	if h.tail != 0 {
-		if c := &a.histArena[h.tail]; c.n < histChunkLen {
+		if c := a.histChunkAt(h.tail); c.n < histChunkLen {
 			c.ev[c.n] = histEvent{t, slope}
 			c.n++
 			return
 		}
 	}
 	idx := a.newHistChunk()
-	c := &a.histArena[idx]
+	c := a.histChunkAt(idx)
 	c.ev[0] = histEvent{t, slope}
 	c.n = 1
 	if h.tail == 0 {
 		h.head = idx
 	} else {
-		a.histArena[h.tail].next = idx
+		a.histChunkAt(h.tail).next = idx
 	}
 	h.tail = idx
 }
 
 // newHistChunk returns a zeroed chunk: off the free list when a dirty
-// reset returned one, freshly appended otherwise (materializing the
-// index-0 sentinel on first use).
+// reset returned one, the next never-used slot otherwise (appending a
+// fresh block when the current one is full; index 0 stays the sentinel).
 func (a *Analyzer) newHistChunk() int32 {
 	if idx := a.histFree; idx != 0 {
-		c := &a.histArena[idx]
+		c := a.histChunkAt(idx)
 		a.histFree = c.next
 		*c = histChunk{}
 		return idx
 	}
-	if len(a.histArena) == 0 {
-		a.histArena = append(a.histArena, histChunk{})
+	if a.histLen == 0 {
+		a.histLen = 1 // reserve the index-0 sentinel
 	}
-	a.histArena = append(a.histArena, histChunk{})
-	return int32(len(a.histArena) - 1)
+	if int(a.histLen)>>histBlockBits == len(a.histBlocks) {
+		a.histBlocks = append(a.histBlocks, make([]histChunk, 1<<histBlockBits))
+	}
+	idx := a.histLen
+	a.histLen++
+	// Blocks survive resetHistArena without being rezeroed, so a slot may
+	// hold a previous drain's chunk.
+	*a.histChunkAt(idx) = histChunk{}
+	return idx
 }
 
 // freeHist clears h and threads its chunk chain onto the free list for
@@ -253,17 +287,17 @@ func (a *Analyzer) newHistChunk() int32 {
 // epoch).
 func (a *Analyzer) freeHist(h *nodeHist) {
 	if h.head != 0 {
-		a.histArena[h.tail].next = a.histFree
+		a.histChunkAt(h.tail).next = a.histFree
 		a.histFree = h.head
 	}
 	*h = nodeHist{}
 }
 
-// resetHistArena empties the arena (keeping its capacity) for a fresh
-// from-scratch drain; every nodeHist referencing it must be zeroed by the
-// caller.
+// resetHistArena empties the arena for a fresh from-scratch drain,
+// keeping the allocated blocks; every nodeHist referencing it must be
+// zeroed by the caller.
 func (a *Analyzer) resetHistArena() {
-	a.histArena = a.histArena[:0]
+	a.histLen = 0
 	a.histFree = 0
 }
 
@@ -333,7 +367,7 @@ func (a *Analyzer) Arrival(n *netlist.Node, tr tech.Transition) Event {
 	if a.events == nil {
 		return Event{}
 	}
-	return a.events[n.Index][tr]
+	return a.events[a.row(n.Index)][tr]
 }
 
 // StagesEvaluated reports how many stage/model evaluations Run performed —
@@ -422,12 +456,18 @@ func (a *Analyzer) Run() error {
 // loop-break mask for the current a.Net generation.
 func (a *Analyzer) buildGates() {
 	nw := a.Net
+	a.cnet = netlist.CompileWith(nw, netlist.CompileOptions{Reorder: !a.Opts.NoReorder})
 	a.loopBreak = make([]bool, len(nw.Nodes))
 	for _, n := range a.Opts.LoopBreak {
-		a.loopBreak[n.Index] = true
+		a.loopBreak[a.cnet.Perm[n.Index]] = true
 	}
-	a.cnet = netlist.Compile(nw)
 }
+
+// row translates a node index to its compiled row — the index of every
+// per-node drain array (events/count/hist/queued/loopBreak and the
+// Compact's CSR/flag vectors). Queue items, provenance and anything
+// reported stay in node-index space.
+func (a *Analyzer) row(node int) int { return int(a.cnet.Perm[node]) }
 
 // settleStatic computes the static sensitization snapshot for the current
 // a.Net generation: settle the network with fixed values; nodes that
@@ -520,21 +560,22 @@ func (a *Analyzer) drainReplay(replays []replayItem) {
 		// node's current arrival is live.
 		it := a.queue.Pop()
 		node, tr := int(it.Node), tech.Transition(it.Tr)
-		if !a.queued[node][tr] || it.T != a.events[node][tr].T {
+		row := a.row(node)
+		if !a.queued[row][tr] || it.T != a.events[row][tr].T {
 			continue // stale: a fresher entry is in the queue
 		}
-		a.queued[node][tr] = false
+		a.queued[row][tr] = false
 		// Feedback guard: counts propagation rounds, not improvements,
 		// so deep longest-path relaxation is unaffected while true
 		// cycles (which re-queue forever) are cut off.
-		a.count[node][tr]++
-		if a.count[node][tr] > a.Opts.MaxEventsPerNode {
-			if a.count[node][tr] == a.Opts.MaxEventsPerNode+1 {
+		a.count[row][tr]++
+		if a.count[row][tr] > a.Opts.MaxEventsPerNode {
+			if a.count[row][tr] == a.Opts.MaxEventsPerNode+1 {
 				a.Unbounded = append(a.Unbounded, a.Net.Nodes[node])
 			}
 			continue
 		}
-		a.hist[node][tr].propagated = true
+		a.hist[row][tr].propagated = true
 		a.propagate(node, tr)
 	}
 }
@@ -560,7 +601,8 @@ func tieBetter(cand, cur Event) bool {
 // (with a deterministic tie-break at equal times), and queues the node for
 // propagation. Returns whether it improved.
 func (a *Analyzer) improve(node int, tr tech.Transition, ev Event) bool {
-	cur := &a.events[node][tr]
+	row := a.row(node)
+	cur := &a.events[row][tr]
 	if cur.Valid {
 		if ev.T < cur.T {
 			return false
@@ -569,7 +611,7 @@ func (a *Analyzer) improve(node int, tr tech.Transition, ev Event) bool {
 			return false
 		}
 	}
-	if a.cnet.IsRail[node] {
+	if a.cnet.IsRail[row] {
 		return false
 	}
 	// Static pruning: a node pinned at a definite value cannot complete
@@ -581,7 +623,7 @@ func (a *Analyzer) improve(node int, tr tech.Transition, ev Event) bool {
 		if tr == tech.Fall {
 			want = switchsim.V0
 		}
-		if sv != switchsim.VX && sv != want && !a.cnet.Precharged[node] {
+		if sv != switchsim.VX && sv != want && !a.cnet.Precharged[row] {
 			return false
 		}
 	}
@@ -595,7 +637,7 @@ func (a *Analyzer) improve(node int, tr tech.Transition, ev Event) bool {
 	// exactly the stream a full run propagated — including its length,
 	// which downstream feedback-guard counts depend on.
 	if cur.Valid {
-		h := &a.hist[node][tr]
+		h := &a.hist[row][tr]
 		if h.propagated {
 			a.appendHist(h, cur.T, cur.Slope)
 		}
@@ -606,10 +648,10 @@ func (a *Analyzer) improve(node int, tr tech.Transition, ev Event) bool {
 	// payload is read from a.events at pop time, so a duplicate push would
 	// just be skipped as stale. Everything else pushes: the queue tolerates
 	// stale entries, and a new arrival time needs its own priority.
-	samePriority := cur.Valid && ev.T == cur.T && a.queued[node][tr]
+	samePriority := cur.Valid && ev.T == cur.T && a.queued[row][tr]
 	*cur = ev
 	if !samePriority {
-		a.queued[node][tr] = true
+		a.queued[row][tr] = true
 		a.queue.Push(sched.Item{T: ev.T, Node: int32(node), Tr: uint8(tr)})
 	}
 	return true
@@ -617,7 +659,7 @@ func (a *Analyzer) improve(node int, tr tech.Transition, ev Event) bool {
 
 // propagate fans the node's current event out to its consequences.
 func (a *Analyzer) propagate(node int, tr tech.Transition) {
-	a.propagateEvent(node, tr, a.events[node][tr])
+	a.propagateEvent(node, tr, a.events[a.row(node)][tr])
 }
 
 // propagateEvent fans an explicit event out to its consequences. The event
@@ -625,7 +667,8 @@ func (a *Analyzer) propagate(node int, tr tech.Transition) {
 // passes historical ones: superseded events whose steeper slopes a full run
 // propagated before they were overwritten.
 func (a *Analyzer) propagateEvent(node int, tr tech.Transition, ev Event) {
-	if a.loopBreak[node] {
+	row := a.row(node)
+	if a.loopBreak[row] {
 		return // user directive: record the arrival, cut the fanout
 	}
 	if !ev.Valid {
@@ -642,7 +685,7 @@ func (a *Analyzer) propagateEvent(node int, tr tech.Transition, ev Event) {
 	// then Fall; release: group order, Rise before Fall per member), so the
 	// candidate sequence improve sees is unchanged.
 	cn := a.cnet
-	for _, ref := range cn.GateRef[cn.GateStart[node]:cn.GateStart[node+1]] {
+	for _, ref := range cn.GateRef[cn.GateStart[row]:cn.GateStart[row+1]] {
 		ti, on1 := netlist.UnpackGateRef(ref)
 		turnsOn := (tr == tech.Rise) == on1
 		var stages []*stage.Stage
@@ -664,7 +707,7 @@ func (a *Analyzer) propagateEvent(node int, tr tech.Transition, ev Event) {
 	// stages that produced their events already targeted every node of
 	// the driven group, and re-propagating would bounce arrivals back
 	// and forth across channel-connected pairs forever.
-	if cn.IsInput[node] && cn.HasTerms[node] {
+	if cn.IsInput[row] && cn.HasTerms[row] {
 		stages, trunc := a.db.From(a.Net.Nodes[node], tr)
 		a.Truncated = a.Truncated || trunc
 		for _, st := range stages {
@@ -762,7 +805,7 @@ func (a *Analyzer) Trace(n *netlist.Node, tr tech.Transition) *Path {
 			break
 		}
 		seen[k] = true
-		e := a.events[node][t]
+		e := a.events[a.row(node)][t]
 		rev = append(rev, Hop{a.Net.Nodes[node], t, e})
 		if e.FromNode < 0 {
 			break

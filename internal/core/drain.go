@@ -76,6 +76,28 @@ type specItem struct {
 	cands  []specCand
 }
 
+// DrainStats are cumulative counters of the speculative drain's behaviour
+// for one analyzer (the Run plus any Reanalyze calls). All zeros when the
+// analysis ran serially (Workers <= 1). They are the observability story
+// for fence tuning: mean frontier batch size (BatchItems/Batches) says how
+// far the fences let the drain read ahead, FenceStalls how often a region
+// clock cut a batch short, SpecUsed/SpecLive how much speculated work
+// survived commit validation, and CommitDepth the deepest pending-commit
+// backlog. Exported by crystald as the /metrics drain.* fields.
+type DrainStats struct {
+	Batches     int64 // frontiers formed
+	BatchItems  int64 // total frontier slots (mean batch size = BatchItems/Batches)
+	FenceStalls int64 // batches cut short by a region fence
+	Preempts    int64 // commits that preempted the rest of their batch
+	SpecLive    int64 // slots speculated (live at formation)
+	SpecUsed    int64 // speculations committed unchanged (occupancy = SpecUsed/SpecLive)
+	CommitDepth int64 // max commit-queue length observed at batch formation
+	Regions     int   // fence regions in the compiled network
+}
+
+// DrainStats returns the drain counters accumulated so far.
+func (a *Analyzer) DrainStats() DrainStats { return a.stats }
+
 // drainRouted runs the event loop on the configured drain: the serial loop
 // at one worker, the speculative parallel drain above it. Arrivals are
 // bit-identical either way.
@@ -96,12 +118,33 @@ func (a *Analyzer) drainParallel(replays []replayItem, workers int) {
 		a.spec = make([]specItem, batchMax)
 	}
 	a.spec = a.spec[:batchMax]
-	a.minDelay = math.Inf(1)
+	// Per-region fence state for this generation's partition: spans start
+	// unfenced (no committed delay yet) and tighten as commits land.
+	nr := a.cnet.NumRegions
+	if cap(a.minDelayR) < nr {
+		a.minDelayR = make([]float64, nr)
+		a.spans = make([]float64, nr)
+	}
+	a.minDelayR = a.minDelayR[:nr]
+	a.spans = a.spans[:nr]
+	for i := range a.minDelayR {
+		a.minDelayR[i] = math.Inf(1)
+		a.spans[i] = 0
+	}
+	a.fence.Region = a.cnet.Region
+	a.fence.Span = a.spans
+	a.fence.Reset(nr)
+	a.stats.Regions = nr
 	ri := 0
 	pprof.Do(context.Background(), pprof.Labels("subsystem", "sched", "phase", "drain"),
 		func(ctx context.Context) {
 			for a.queue.Len() > 0 || ri < len(replays) {
+				if d := int64(a.queue.Len()); d > a.stats.CommitDepth {
+					a.stats.CommitDepth = d
+				}
 				nb := a.formBatch(replays, &ri, batchMax)
+				a.stats.Batches++
+				a.stats.BatchItems += int64(nb)
 				if nb > 1 {
 					pool.Do("enumerate", func(w int) {
 						for i := w; i < nb; i += workers {
@@ -122,24 +165,27 @@ func (a *Analyzer) drainParallel(replays []replayItem, workers int) {
 
 // formBatch carves the next frontier off the queue (merged with pending
 // replay items in trigger-time order, replays winning ties — the serial
-// loop's merge rule) into a.spec, returning the slot count. The span fence
-// follows the smallest committed delay: a narrower frontier cannot
-// self-invalidate.
+// loop's merge rule) into a.spec, returning the slot count. Admission is
+// fenced per region: each region's clock opens at its first item and
+// admits later items within the region's span (half the smallest delay
+// committed into it), so one region's tight fence never caps the batch's
+// reach into independent regions. A fence that cuts a batch short of
+// batchMax counts as a stall.
 func (a *Analyzer) formBatch(replays []replayItem, ri *int, batchMax int) int {
-	span := 0.0
-	if !math.IsInf(a.minDelay, 1) {
-		span = 0.5 * a.minDelay
-	}
 	if *ri >= len(replays) {
-		// Pure-queue frontier: PopFrontier carves the epoch in one pass.
-		a.fbuf = a.queue.PopFrontier(a.fbuf[:0], batchMax, span)
+		// Pure-queue frontier: one fenced pass over the heap.
+		var stalled bool
+		a.fbuf, stalled = a.queue.PopFrontierFenced(a.fbuf[:0], batchMax, &a.fence)
+		if stalled {
+			a.stats.FenceStalls++
+		}
 		for i, it := range a.fbuf {
 			a.fillSpec(&a.spec[i], it)
 		}
 		return len(a.fbuf)
 	}
 	nb := 0
-	var head float64
+	a.fence.Begin()
 	for nb < batchMax && (a.queue.Len() > 0 || *ri < len(replays)) {
 		var key sched.Item
 		useReplay := false
@@ -151,9 +197,8 @@ func (a *Analyzer) formBatch(replays []replayItem, ri *int, batchMax int) int {
 		if !useReplay {
 			key = a.queue.Peek()
 		}
-		if nb == 0 {
-			head = key.T
-		} else if span > 0 && key.T > head+span {
+		if !a.fence.Admit(key) {
+			a.stats.FenceStalls++
 			break
 		}
 		s := &a.spec[nb]
@@ -164,6 +209,7 @@ func (a *Analyzer) formBatch(replays []replayItem, ri *int, batchMax int) int {
 				key: key, ev: Event{T: r.t, Slope: r.slope, Valid: true},
 				replay: true, live: true, cands: s.cands,
 			}
+			a.stats.SpecLive++
 		} else {
 			a.queue.Pop()
 			a.fillSpec(s, key)
@@ -178,11 +224,12 @@ func (a *Analyzer) formBatch(replays []replayItem, ri *int, batchMax int) int {
 // can only be skipped or, rarely, revived by an in-batch tie-break, which
 // the commit's payload check routes to serial re-propagation).
 func (a *Analyzer) fillSpec(s *specItem, it sched.Item) {
-	node, tr := int(it.Node), int(it.Tr)
-	live := a.queued[node][tr] && it.T == a.events[node][tr].T
+	row, tr := a.row(int(it.Node)), int(it.Tr)
+	live := a.queued[row][tr] && it.T == a.events[row][tr].T
 	ev := Event{}
 	if live {
-		ev = a.events[node][tr]
+		ev = a.events[row][tr]
+		a.stats.SpecLive++
 	}
 	*s = specItem{key: it, ev: ev, live: live, cands: s.cands}
 }
@@ -195,11 +242,12 @@ func (a *Analyzer) speculate(s *specItem) {
 	s.evals = 0
 	s.trunc = false
 	node, tr := int(s.key.Node), tech.Transition(s.key.Tr)
-	if a.loopBreak[node] || !s.ev.Valid {
+	row := a.row(node)
+	if a.loopBreak[row] || !s.ev.Valid {
 		return
 	}
 	cn := a.cnet
-	for _, ref := range cn.GateRef[cn.GateStart[node]:cn.GateStart[node+1]] {
+	for _, ref := range cn.GateRef[cn.GateStart[row]:cn.GateStart[row+1]] {
 		ti, on1 := netlist.UnpackGateRef(ref)
 		var stages []*stage.Stage
 		var trunc bool
@@ -213,7 +261,7 @@ func (a *Analyzer) speculate(s *specItem) {
 			a.specStage(s, st)
 		}
 	}
-	if cn.IsInput[node] && cn.HasTerms[node] {
+	if cn.IsInput[row] && cn.HasTerms[row] {
 		stages, trunc := a.db.From(a.Net.Nodes[node], tr)
 		s.trunc = s.trunc || trunc
 		for _, st := range stages {
@@ -256,30 +304,32 @@ func (a *Analyzer) commitBatch(replays []replayItem, ri *int, nb int) {
 			a.applySpec(s)
 		} else {
 			node, tr := int(s.key.Node), tech.Transition(s.key.Tr)
+			row := a.row(node)
 			switch {
-			case !a.queued[node][tr] || s.key.T != a.events[node][tr].T:
+			case !a.queued[row][tr] || s.key.T != a.events[row][tr].T:
 				continue // stale: a fresher entry is in the queue
 			default:
-				a.queued[node][tr] = false
-				a.count[node][tr]++
-				if a.count[node][tr] > a.Opts.MaxEventsPerNode {
-					if a.count[node][tr] == a.Opts.MaxEventsPerNode+1 {
+				a.queued[row][tr] = false
+				a.count[row][tr]++
+				if a.count[row][tr] > a.Opts.MaxEventsPerNode {
+					if a.count[row][tr] == a.Opts.MaxEventsPerNode+1 {
 						a.Unbounded = append(a.Unbounded, a.Net.Nodes[node])
 					}
 					continue
 				}
-				a.hist[node][tr].propagated = true
-				if s.live && a.events[node][tr] == s.ev {
+				a.hist[row][tr].propagated = true
+				if s.live && a.events[row][tr] == s.ev {
 					a.applySpec(s)
 				} else {
 					// Payload changed under the speculation (equal-time
 					// tie-break) or the slot was stale at formation and a
 					// tie-break revived it: re-propagate from live state.
-					a.propagateEvent(node, tr, a.events[node][tr])
+					a.propagateEvent(node, tr, a.events[row][tr])
 				}
 			}
 		}
 		if bi+1 < nb && a.queue.Len() > 0 && sched.Less(a.queue.Peek(), a.spec[bi+1].key) {
+			a.stats.Preempts++
 			for j := nb - 1; j > bi; j-- {
 				if a.spec[j].replay {
 					*ri--
@@ -293,15 +343,22 @@ func (a *Analyzer) commitBatch(replays []replayItem, ri *int, nb int) {
 }
 
 // applySpec commits one validated speculation: the accounting and improve
-// calls the serial propagation would have made, in the same order.
+// calls the serial propagation would have made, in the same order. Each
+// committed delay tightens the fence span of the region it lands IN — the
+// target's region, since that is where the consequence can invalidate
+// later speculation.
 func (a *Analyzer) applySpec(s *specItem) {
 	a.stageEv += s.evals
 	a.Truncated = a.Truncated || s.trunc
+	a.stats.SpecUsed++
 	node, tr := int(s.key.Node), tech.Transition(s.key.Tr)
 	for i := range s.cands {
 		c := &s.cands[i]
-		if d := c.t - s.ev.T; d > 0 && d < a.minDelay {
-			a.minDelay = d
+		if d := c.t - s.ev.T; d > 0 {
+			if r := a.cnet.Region[c.st.Target.Index]; d < a.minDelayR[r] {
+				a.minDelayR[r] = d
+				a.spans[r] = 0.5 * d
+			}
 		}
 		a.improve(c.st.Target.Index, c.st.Transition, Event{
 			T: c.t, Slope: c.slope, Valid: true,

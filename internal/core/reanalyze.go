@@ -146,7 +146,11 @@ func (a *Analyzer) dirtyTouchesUnbounded(plan *incremental.Plan) bool {
 
 // rebind repoints the analyzer at the next network generation. Node
 // indexes are stable across edits, so index-keyed state (fixed values,
-// initial values) carries over untouched; node pointers must be remapped.
+// initial values) carries over untouched; node pointers must be remapped,
+// and the ROW-indexed drain state re-permuted: recompiling yields a new
+// RCM layout (added nodes and devices shift the whole walk), so every
+// per-row array is rewritten old-row → node index → new-row. History
+// chunk indexes are arena-flat and survive unchanged.
 func (a *Analyzer) rebind(nw *netlist.Network) {
 	a.Net = nw
 	for i := range a.seeded {
@@ -156,7 +160,25 @@ func (a *Analyzer) rebind(nw *netlist.Network) {
 		a.Opts.LoopBreak[i] = nw.Nodes[n.Index]
 	}
 	a.Opts.DB = nil // a caller-shared DB describes the old generation
+	old := a.cnet
 	a.buildGates()
+	if a.events == nil || old == nil {
+		return
+	}
+	n := len(nw.Nodes)
+	events := make([][2]Event, n)
+	count := make([][2]int, n)
+	hist := make([][2]nodeHist, n)
+	queued := make([][2]bool, n)
+	for oldRow := range a.events {
+		orig := old.InvPerm[oldRow]
+		nr := a.cnet.Perm[orig]
+		events[nr] = a.events[oldRow]
+		count[nr] = a.count[oldRow]
+		hist[nr] = a.hist[oldRow]
+		queued[nr] = a.queued[oldRow]
+	}
+	a.events, a.count, a.hist, a.queued = events, count, hist, queued
 }
 
 // runFull redoes the analysis from scratch over the current generation
@@ -196,25 +218,17 @@ func (a *Analyzer) runFull() {
 // any new ones appear).
 func (a *Analyzer) runIncremental(plan *incremental.Plan) int {
 	nw := a.Net
-	if len(a.events) < len(nw.Nodes) {
-		events := make([][2]Event, len(nw.Nodes))
-		copy(events, a.events)
-		count := make([][2]int, len(nw.Nodes))
-		copy(count, a.count)
-		hist := make([][2]nodeHist, len(nw.Nodes))
-		copy(hist, a.hist)
-		queued := make([][2]bool, len(nw.Nodes))
-		copy(queued, a.queued)
-		a.events, a.count, a.hist, a.queued = events, count, hist, queued
-	}
+	// rebind already re-permuted the per-row state to this generation's
+	// layout (new nodes hold zero rows); only the dirty resets remain.
 	for i := range nw.Nodes {
 		if plan.NodeDirty(i) {
-			a.events[i] = [2]Event{}
-			a.count[i] = [2]int{}
-			for tr := range a.hist[i] {
-				a.freeHist(&a.hist[i][tr])
+			row := a.row(i)
+			a.events[row] = [2]Event{}
+			a.count[row] = [2]int{}
+			for tr := range a.hist[row] {
+				a.freeHist(&a.hist[row][tr])
 			}
-			a.queued[i] = [2]bool{}
+			a.queued[row] = [2]bool{}
 		}
 	}
 	a.queue.Reset()
@@ -258,15 +272,16 @@ func (a *Analyzer) runIncremental(plan *incremental.Plan) int {
 		if !touches {
 			continue
 		}
+		row := a.row(i)
 		for _, tr := range []tech.Transition{tech.Rise, tech.Fall} {
-			h := &a.hist[i][tr]
-			for ci := h.head; ci != 0; ci = a.histArena[ci].next {
-				c := &a.histArena[ci]
+			h := &a.hist[row][tr]
+			for ci := h.head; ci != 0; ci = a.histChunkAt(ci).next {
+				c := a.histChunkAt(ci)
 				for k := int32(0); k < c.n; k++ {
 					replays = append(replays, replayItem{i, tr, c.ev[k].t, c.ev[k].slope})
 				}
 			}
-			if ev := a.events[i][tr]; ev.Valid && h.propagated {
+			if ev := a.events[row][tr]; ev.Valid && h.propagated {
 				replays = append(replays, replayItem{i, tr, ev.T, ev.Slope})
 			}
 		}

@@ -27,6 +27,21 @@ func FuzzReadSim(f *testing.F) {
 		"= a b\n= b a\nN a 1\n",
 		"= a a\nN a 1\n",
 		"= x y\nN y 2\n= y x\nN x 3\n",
+		// Two-phase intern reconciliation: with the 8-byte chunk floor
+		// these split across chunks, so the same symbol is tokenized by
+		// several workers and must reconcile to one canonical string.
+		// One name repeated in every chunk:
+		"N aa 1\nN aa 2\nN aa 3\nN aa 4\nN aa 5\nN aa 6\n",
+		// Alias whose two sides first appear in different chunks, with
+		// devices referencing both spellings afterwards:
+		"e node_alpha x0 y0\ne node_beta x1 y1\n= node_alpha node_beta\nN node_beta 7\n",
+		// Many distinct names (spread across intern shards), then reuse
+		// of every one of them from a later chunk:
+		"e a0 b0 c0\ne a1 b1 c1\ne a2 b2 c2\ne a3 b3 c3\ne c3 b2 a1\ne c0 b1 a2\n",
+		// Rails interned from every chunk alongside locals:
+		"e g1 Vdd n1\ne g2 GND n2\ne g3 Vdd n1\ne g4 GND n2\n",
+		// Alias chain whose links land in separate chunks:
+		"= p q\n= q r\n= r s\nN s 9\ne p s GND\n",
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -12,13 +12,19 @@
 //     interning — and emits a flat record stream plus a local symbol
 //     table. Workers never touch the network, the alias table, or each
 //     other.
-//  2. Merge (serial, in file order): the record streams are replayed
-//     chunk by chunk into a fresh Network under a global string
-//     interner. Everything whose meaning depends on position replays
-//     here exactly as the serial parser would have done it: alias
-//     resolution (aliases apply only to later references), node creation
-//     order (first-reference order defines Node.Index), the units: scale
-//     in effect at each transistor line, flow-index range checks against
+//  2. Reconcile (parallel): each worker canonicalizes its local symbol
+//     table against a shared sharded interner as soon as its chunk is
+//     tokenized. Interning used to ride inside the serial merge — one
+//     global map operation per name reference — and was most of the
+//     merge's tail; reconciliation moves it onto the workers, where it
+//     overlaps tokenization of later chunks.
+//  3. Merge (serial, in file order): the record streams are replayed
+//     chunk by chunk into a fresh Network over the pre-canonicalized
+//     symbols. Only what is genuinely order-dependent replays here,
+//     exactly as the serial parser would have done it: alias resolution
+//     (aliases apply only to later references), node creation order
+//     (first-reference order defines Node.Index), the units: scale in
+//     effect at each transistor line, flow-index range checks against
 //     the transistors added so far, and first-error selection.
 //
 // The contract, pinned by TestParallelParseIdentity and FuzzReadSim: at
@@ -95,6 +101,7 @@ type simChunk struct {
 	recs  []simRec
 	lists []int32  // pooled name lists for recMark
 	syms  []string // local symbol id → token (substrings of the chunk)
+	canon []string // local symbol id → canonical name (reconcile phase)
 	lines int      // lines scanned (partial when errLine != 0)
 
 	errLine    int32 // 1-based line of the first local error, 0 = none
@@ -126,9 +133,11 @@ func readSimChunked(name string, p *tech.Params, r io.Reader, workers, minChunk 
 	src := string(data)
 	parts := splitSimChunks(src, workers, minChunk)
 	chunks := make([]*simChunk, len(parts))
+	itn := NewShardedInterner(1024)
 	if workers == 1 || len(parts) <= 1 {
 		for i, s := range parts {
 			chunks[i] = tokenizeSimChunk(p, s)
+			chunks[i].reconcile(itn)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -137,11 +146,23 @@ func readSimChunked(name string, p *tech.Params, r io.Reader, workers, minChunk 
 			go func(i int, s string) {
 				defer wg.Done()
 				chunks[i] = tokenizeSimChunk(p, s)
+				chunks[i].reconcile(itn)
 			}(i, s)
 		}
 		wg.Wait()
 	}
 	return mergeSimChunks(name, p, chunks)
+}
+
+// reconcile canonicalizes the chunk's local symbol table against the
+// shared interner — phase 2 of the pipeline, run on the tokenizer's
+// worker. The canonical COPIES are scheduling-independent (byte-equal
+// clones whoever interns first), so the merge's output is too.
+func (ch *simChunk) reconcile(itn *ShardedInterner) {
+	ch.canon = make([]string, len(ch.syms))
+	for i, s := range ch.syms {
+		ch.canon[i] = itn.Intern(s)
+	}
 }
 
 // splitSimChunks cuts src into at most `workers` contiguous pieces on
@@ -383,13 +404,14 @@ func tokenizeSimChunk(p *tech.Params, src string) *simChunk {
 	return ch
 }
 
-// mergeSimChunks replays the tokenized chunks, in file order, into a
-// fresh network. This is the serial tail of the pipeline: alias state,
-// node creation, scale, and error selection all advance here exactly as
-// in ReadSim.
+// mergeSimChunks replays the tokenized, reconciled chunks, in file
+// order, into a fresh network. This is the serial tail of the pipeline:
+// alias state, node creation, scale, and error selection all advance here
+// exactly as in ReadSim. Names arrive pre-canonicalized (chunk canon
+// tables), so the merge itself never interns — the alias table's keys and
+// values are canonical strings already.
 func mergeSimChunks(name string, p *tech.Params, chunks []*simChunk) (*Network, error) {
 	nw := New(name, p)
-	itn := NewInterner(1024)
 	aliases := make(map[string]string)
 	aliasVer := 0
 	scale := 1.0
@@ -409,12 +431,12 @@ func mergeSimChunks(name string, p *tech.Params, chunks []*simChunk) (*Network, 
 			if n := cache[sym]; n != nil {
 				return n, nil
 			}
-			nm := ch.syms[sym]
+			nm := ch.canon[sym]
 			final, ok := followAliases(aliases, nm)
 			if !ok {
 				return nil, fmt.Errorf("sim %s:%d: alias cycle resolving %q", name, startLine+int(line), nm)
 			}
-			n := nw.Node(itn.Intern(final))
+			n := nw.Node(final)
 			cache[sym] = n
 			return n, nil
 		}
@@ -480,9 +502,7 @@ func mergeSimChunks(name string, p *tech.Params, chunks []*simChunk) (*Network, 
 				}
 				nw.AddCap(n, rec.v1*femto)
 			case recAlias:
-				canon := itn.Intern(ch.syms[rec.sym[0]])
-				alias := itn.Intern(ch.syms[rec.sym[1]])
-				aliases[alias] = canon
+				aliases[ch.canon[rec.sym[1]]] = ch.canon[rec.sym[0]]
 				aliasVer++
 			case recMark:
 				for _, sym := range ch.lists[rec.idx : rec.idx+rec.n] {

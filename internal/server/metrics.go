@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/core"
 )
 
 // latencyRing bounds each recorder: percentiles are computed over the most
@@ -82,6 +84,37 @@ type metrics struct {
 
 	analyzeLatency latencyRecorder // one full analyze
 	editLatency    latencyRecorder // one edit barrier (Reanalyze + report)
+
+	// Speculative-drain counters, aggregated across every parallel drain
+	// any session ran (serial drains contribute zeros). See
+	// core.DrainStats for semantics.
+	drainBatches     atomic.Int64
+	drainBatchItems  atomic.Int64
+	drainFenceStalls atomic.Int64
+	drainPreempts    atomic.Int64
+	drainSpecLive    atomic.Int64
+	drainSpecUsed    atomic.Int64
+	drainCommitDepth atomic.Int64 // max observed across drains
+	drainRegions     atomic.Int64 // last compiled fence-partition size
+}
+
+// observeDrain folds one drain's counter delta into the aggregate.
+func (m *metrics) observeDrain(d core.DrainStats) {
+	m.drainBatches.Add(d.Batches)
+	m.drainBatchItems.Add(d.BatchItems)
+	m.drainFenceStalls.Add(d.FenceStalls)
+	m.drainPreempts.Add(d.Preempts)
+	m.drainSpecLive.Add(d.SpecLive)
+	m.drainSpecUsed.Add(d.SpecUsed)
+	for {
+		cur := m.drainCommitDepth.Load()
+		if d.CommitDepth <= cur || m.drainCommitDepth.CompareAndSwap(cur, d.CommitDepth) {
+			break
+		}
+	}
+	if d.Regions > 0 {
+		m.drainRegions.Store(int64(d.Regions))
+	}
 }
 
 // MetricsSnapshot is the externally visible metrics document.
@@ -107,6 +140,17 @@ type MetricsSnapshot struct {
 		Full        int64 `json:"full"`
 		DrainEpochs int64 `json:"drain_epochs"`
 	} `json:"edits"`
+	Drain struct {
+		Batches     int64   `json:"batches"`
+		BatchSize   float64 `json:"batch_size"` // mean frontier batch size
+		FenceStalls int64   `json:"fence_stalls"`
+		Preempts    int64   `json:"preempts"`
+		SpecLive    int64   `json:"spec_live"`
+		SpecUsed    int64   `json:"spec_used"`
+		Occupancy   float64 `json:"occupancy"`    // SpecUsed / SpecLive
+		CommitDepth int64   `json:"commit_depth"` // max commit-queue depth observed
+		Regions     int64   `json:"regions"`
+	} `json:"drain"`
 	LatencyNs struct {
 		Analyze     LatencyStats `json:"analyze"`
 		EditBarrier LatencyStats `json:"edit_barrier"`
@@ -130,6 +174,19 @@ func (m *metrics) snapshot(live int) MetricsSnapshot {
 	s.Edits.Incremental = m.editsIncremental.Load()
 	s.Edits.Full = m.editsFull.Load()
 	s.Edits.DrainEpochs = m.drainEpochs.Load()
+	s.Drain.Batches = m.drainBatches.Load()
+	if items := m.drainBatchItems.Load(); s.Drain.Batches > 0 {
+		s.Drain.BatchSize = float64(items) / float64(s.Drain.Batches)
+	}
+	s.Drain.FenceStalls = m.drainFenceStalls.Load()
+	s.Drain.Preempts = m.drainPreempts.Load()
+	s.Drain.SpecLive = m.drainSpecLive.Load()
+	s.Drain.SpecUsed = m.drainSpecUsed.Load()
+	if s.Drain.SpecLive > 0 {
+		s.Drain.Occupancy = float64(s.Drain.SpecUsed) / float64(s.Drain.SpecLive)
+	}
+	s.Drain.CommitDepth = m.drainCommitDepth.Load()
+	s.Drain.Regions = m.drainRegions.Load()
 	s.LatencyNs.Analyze = m.analyzeLatency.stats()
 	s.LatencyNs.EditBarrier = m.editLatency.stats()
 	return s

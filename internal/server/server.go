@@ -46,6 +46,10 @@ type Options struct {
 	// one (0 selects GOMAXPROCS); session loads use the same setting for
 	// the parallel .sim tokenizer.
 	DefaultWorkers int
+	// NoReorder disables the compiled network's RCM locality layout in
+	// every session analyzer (core.Options.NoReorder). Results are
+	// bit-identical either way; cmd/crystald exposes this as -reorder.
+	NoReorder bool
 	// SnapshotDir, when non-empty, enables the .simx warm-start cache:
 	// every parsed session is persisted there keyed by its content hash,
 	// and a later POST of identical content — including after a daemon
@@ -236,7 +240,7 @@ func (sv *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if sv.lookup(id) != nil { // hash prefix taken by a diverged session
 		id = fmt.Sprintf("%s.%d", hash[:12], seq)
 	}
-	s, err := newSession(id, cfg, sv.opts.SnapshotDir, sv.opts.DefaultWorkers)
+	s, err := newSession(id, cfg, sv.opts.SnapshotDir, sv.opts.DefaultWorkers, sv.opts.NoReorder)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
@@ -396,6 +400,7 @@ func (sv *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	snap := s.buildSnapshot()
 	sv.m.analyzesFull.Add(1)
 	sv.m.analyzeLatency.observe(dur)
+	sv.m.observeDrain(a.DrainStats()) // fresh analyzer: stats are this run's
 	writeJSON(w, http.StatusOK, analyzeResponse{
 		Snapshot: snap, Workers: workers, DurationNs: dur.Nanoseconds(),
 	})
@@ -461,11 +466,23 @@ func (sv *Server) handleEdits(w http.ResponseWriter, r *http.Request) {
 	err := incremental.ReplayScript(strings.NewReader(req.Script), "script",
 		func(line int, batch []incremental.Edit) error {
 			start := time.Now()
+			before := s.a.DrainStats()
 			stats, err := s.a.Reanalyze(batch)
 			if err != nil {
 				return err
 			}
 			dur := time.Since(start)
+			after := s.a.DrainStats()
+			sv.m.observeDrain(core.DrainStats{
+				Batches:     after.Batches - before.Batches,
+				BatchItems:  after.BatchItems - before.BatchItems,
+				FenceStalls: after.FenceStalls - before.FenceStalls,
+				Preempts:    after.Preempts - before.Preempts,
+				SpecLive:    after.SpecLive - before.SpecLive,
+				SpecUsed:    after.SpecUsed - before.SpecUsed,
+				CommitDepth: after.CommitDepth,
+				Regions:     after.Regions,
+			})
 			s.edited = true
 			s.barriers++
 			sv.m.editBatches.Add(1)

@@ -323,6 +323,93 @@ func TestWorkersIdentityOverHTTP(t *testing.T) {
 	}
 }
 
+// TestReorderIdentityOverHTTP pins the reordering contract at the
+// service surface: a whole session transcript — analyze plus edit
+// barriers, structured paths included — is byte-identical whether the
+// daemon compiles networks with the RCM locality layout or the identity
+// layout, serial and parallel.
+func TestReorderIdentityOverHTTP(t *testing.T) {
+	script := "cap out 2e-14\nrun\nresize 2 6e-6 2e-6\nrun\n"
+	run := func(noReorder bool, workers int) string {
+		c := newTestClient(t, Options{NoReorder: noReorder})
+		id := c.create(dlatchConfig(t)).Session
+		an := c.analyze(id, workers)
+		ed := c.edits(id, script)
+		var out strings.Builder
+		out.WriteString(an.Report)
+		for _, b := range ed.Barriers {
+			out.WriteString(b.Status + "\n" + b.Report)
+		}
+		paths, err := json.Marshal(ed.Snapshot.Paths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.Write(paths)
+		return out.String()
+	}
+	for _, workers := range []int{1, 8} {
+		if on, off := run(false, workers), run(true, workers); on != off {
+			t.Errorf("workers=%d: transcript differs between reorder on and off:\n--- on ---\n%s\n--- off ---\n%s",
+				workers, on, off)
+		}
+	}
+}
+
+// TestDrainMetricsExposed is the drain-counter sanity check: after a
+// parallel analyze, /metrics must expose the speculative-drain counters
+// (drain.batch_size, drain.fence_stalls, drain.commit_depth among them)
+// with a consistent, non-degenerate story — batches happened, the fence
+// partition is non-trivial, and occupancy is a valid ratio.
+func TestDrainMetricsExposed(t *testing.T) {
+	c := newTestClient(t, Options{})
+	id := c.create(dlatchConfig(t)).Session
+	c.analyze(id, 8)
+
+	// The wire format is part of the contract: fleet dashboards key on
+	// these literal field names.
+	req, err := http.NewRequest("GET", c.srv.URL+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{
+		`"drain"`, `"batch_size"`, `"fence_stalls"`, `"commit_depth"`,
+		`"preempts"`, `"spec_live"`, `"spec_used"`, `"occupancy"`, `"regions"`,
+	} {
+		if !bytes.Contains(raw, []byte(field)) {
+			t.Errorf("/metrics missing %s:\n%s", field, raw)
+		}
+	}
+
+	m := c.metrics()
+	if m.Drain.Batches <= 0 {
+		t.Errorf("drain.batches = %d after a parallel analyze", m.Drain.Batches)
+	}
+	if m.Drain.BatchSize <= 0 {
+		t.Errorf("drain.batch_size = %g, want > 0", m.Drain.BatchSize)
+	}
+	if m.Drain.Regions <= 0 {
+		t.Errorf("drain.regions = %d, want > 0", m.Drain.Regions)
+	}
+	if m.Drain.SpecLive < m.Drain.SpecUsed {
+		t.Errorf("drain.spec_used %d exceeds spec_live %d", m.Drain.SpecUsed, m.Drain.SpecLive)
+	}
+	if m.Drain.Occupancy < 0 || m.Drain.Occupancy > 1 {
+		t.Errorf("drain.occupancy = %g, want in [0,1]", m.Drain.Occupancy)
+	}
+	if m.Drain.FenceStalls < 0 || m.Drain.CommitDepth < 0 {
+		t.Errorf("negative drain counters: %+v", m.Drain)
+	}
+}
+
 // TestConcurrentAnalyzeEdits hammers one session with concurrent
 // mutators and readers. Run under -race in CI: the per-session writer
 // lock must serialize analyze/edits while snapshot reads stay lock-free.

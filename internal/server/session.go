@@ -170,6 +170,7 @@ type session struct {
 	nw        *netlist.Network
 	a         *core.Analyzer // nil until the first analyze
 	workers   int            // worker count of the current analyzer
+	noReorder bool           // server-wide Options.NoReorder, applied per analyzer
 	edited    bool           // diverged from the loaded source (edits applied)
 	barriers  int            // run barriers applied over the session lifetime
 	lastEpoch uint64         // stage-DB generation at the last metrics update
@@ -189,8 +190,8 @@ type session struct {
 // mismatch or decode failure falls back to a parse. A snapshot is only
 // ever written after the parsed network passed Check, so a snapshot hit
 // skips both the parse and the structural check.
-func newSession(id string, cfg SessionConfig, snapDir string, workers int) (*session, error) {
-	s := &session{id: id, hash: cfg.hash(), cfg: cfg, source: "parse"}
+func newSession(id string, cfg SessionConfig, snapDir string, workers int, noReorder bool) (*session, error) {
+	s := &session{id: id, hash: cfg.hash(), cfg: cfg, source: "parse", noReorder: noReorder}
 	switch cfg.Tech {
 	case "nmos-4u", "nmos":
 		s.params = tech.NMOS4()
@@ -264,7 +265,7 @@ func loadSessionSnapshot(path, name string, p *tech.Params, simHash [32]byte) (*
 // stage database from a previous analyzer over the same generation.
 // Callers hold s.mu.
 func (s *session) buildAnalyzer(workers int, db *core.Analyzer) (*core.Analyzer, error) {
-	opts := core.Options{Workers: workers}
+	opts := core.Options{Workers: workers, NoReorder: s.noReorder}
 	if db != nil {
 		opts.DB = db.StageDB()
 	}
