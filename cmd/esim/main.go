@@ -6,7 +6,7 @@
 // Usage:
 //
 //	esim -sim counter.sim [-tech nmos-4u] [-script cmds.txt]
-//	     [-workers 1] [-snapshot counter.simx]
+//	     [-workers 1] [-snapshot counter.simx] [-vectors vecs.txt]
 //
 // -workers parallelizes the .sim parse (0 = all cores); -snapshot names
 // a binary .simx cache loaded in place of parsing when fresh and
@@ -21,6 +21,16 @@
 //	w <node>...        add nodes to the watch list
 //	d                  dump all node values
 //	check <node>=<v>   assert a node's value (0, 1, or X); exit 1 on failure
+//
+// -vectors FILE switches to batch mode: instead of a command script, the
+// file holds one input vector per line (0/1/X symbols, X = released), and
+// every vector is settled independently from power-on state through the
+// vectorized lattice engine. Two optional directives pick the columns:
+//
+//	inputs <node>...   map vector columns to these input nodes
+//	                   (default: all inputs in netlist order; unmapped
+//	                   inputs stay released)
+//	watch <node>...    report these nodes per vector (default: outputs)
 package main
 
 import (
@@ -42,6 +52,7 @@ func main() {
 	script := flag.String("script", "", "command script (default stdin)")
 	workers := flag.Int("workers", 1, "parser worker count (0 = all cores)")
 	snapshot := flag.String("snapshot", "", "binary .simx netlist cache: load it when fresh, rewrite it after a parse")
+	vectors := flag.String("vectors", "", "vector file: stream input vectors through the batch engine instead of a script")
 	flag.Parse()
 
 	if *simFile == "" {
@@ -62,6 +73,17 @@ func main() {
 		fatal(err)
 	}
 
+	if *vectors != "" {
+		vf, err := os.Open(*vectors)
+		if err != nil {
+			fatal(err)
+		}
+		defer vf.Close()
+		if err := runVectors(nw, vf, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	var in io.Reader = os.Stdin
 	if *script != "" {
 		sf, err := os.Open(*script)
@@ -74,6 +96,108 @@ func main() {
 	if err := run(nw, in, os.Stdout); err != nil {
 		fatal(err)
 	}
+}
+
+// runVectors executes a vector file through the batch engine; split out
+// for testing. Every vector settles independently from power-on state.
+func runVectors(nw *netlist.Network, in io.Reader, out io.Writer) error {
+	b := switchsim.NewBatch(nw)
+	inputs := b.Inputs()
+	colOf := make(map[string]int, len(inputs))
+	for i, n := range inputs {
+		colOf[n.Name] = i
+	}
+	cols := make([]int, len(inputs)) // file column -> Inputs() column
+	for i := range cols {
+		cols[i] = i
+	}
+	colNames := b.InputNames()
+	watch := nw.Outputs()
+	var rows [][]switchsim.Value // full-width rows in Inputs() order
+	var echo []string            // canonical per-row symbol echo
+	sc := bufio.NewScanner(in)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "inputs":
+			if len(rows) > 0 {
+				return fmt.Errorf("line %d: inputs directive must precede vectors", lineno)
+			}
+			cols = cols[:0]
+			colNames = colNames[:0]
+			for _, name := range fields[1:] {
+				c, ok := colOf[name]
+				if !ok {
+					return fmt.Errorf("line %d: %q is not an input node", lineno, name)
+				}
+				cols = append(cols, c)
+				colNames = append(colNames, name)
+			}
+		case "watch":
+			watch = watch[:0]
+			for _, name := range fields[1:] {
+				n := nw.Lookup(name)
+				if n == nil {
+					return fmt.Errorf("line %d: no node named %q", lineno, name)
+				}
+				watch = append(watch, n)
+			}
+		default:
+			vals, err := switchsim.ParseVector(line, len(cols))
+			if err != nil {
+				return fmt.Errorf("line %d: %w", lineno, err)
+			}
+			row := make([]switchsim.Value, len(inputs))
+			for i := range row {
+				row[i] = switchsim.VX // unmapped inputs stay released
+			}
+			var sb strings.Builder
+			for i, v := range vals {
+				row[cols[i]] = v
+				sb.WriteString(v.String())
+			}
+			rows = append(rows, row)
+			echo = append(echo, sb.String())
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(watch) == 0 {
+		return fmt.Errorf("no nodes to watch: mark outputs in the netlist or add a watch directive")
+	}
+	fmt.Fprintf(out, "inputs: %s\n", strings.Join(colNames, " "))
+	names := make([]string, len(watch))
+	for i, n := range watch {
+		names[i] = n.Name
+	}
+	fmt.Fprintf(out, "watch: %s\n", strings.Join(names, " "))
+	vecs := make([]switchsim.Value, 0, len(rows)*len(inputs))
+	for _, row := range rows {
+		vecs = append(vecs, row...)
+	}
+	res, err := b.Run(vecs, watch)
+	if err != nil {
+		return err
+	}
+	for v := 0; v < res.Vectors; v++ {
+		fmt.Fprintf(out, "%s ->", echo[v])
+		for i, n := range watch {
+			fmt.Fprintf(out, " %s=%s", n.Name, res.Out[v][i])
+		}
+		if res.Osc[v] {
+			fmt.Fprintf(out, " [oscillation → X]")
+		}
+		fmt.Fprintln(out)
+	}
+	fmt.Fprintf(out, "vectors: %d, sweeps: %d\n", res.Vectors, res.Sweeps)
+	return nil
 }
 
 // run executes the command stream; split out for testing.

@@ -171,11 +171,44 @@ func conformancePessimism(t *testing.T, nw *netlist.Network, tb *delay.Tables,
 	}
 }
 
+// conformanceTransitions diffs two settled simulator states and requires
+// the analyzer to hold a valid arrival for every definite transition
+// between them. Indefinite (X) endpoints are excluded: an untimed ternary
+// settle cannot claim them. Returns the number of definite transitions.
+func conformanceTransitions(t *testing.T, nw *netlist.Network, a *Analyzer,
+	dir string, before, after []switchsim.Value) int {
+	t.Helper()
+	observed := 0
+	for _, n := range nw.Nodes {
+		if n.IsRail() {
+			continue
+		}
+		was, now := before[n.Index], after[n.Index]
+		if was == now || was == switchsim.VX || now == switchsim.VX {
+			continue
+		}
+		observed++
+		tr := tech.Rise
+		if now == switchsim.V0 {
+			tr = tech.Fall
+		}
+		if !a.Arrival(n, tr).Valid {
+			t.Errorf("%s sweep: switchsim observed %s %s→%s but the analyzer has no %s arrival",
+				dir, n.Name, was, now, tr)
+		}
+	}
+	return observed
+}
+
 // conformanceVector settles the switch-level simulator on the all-inputs-
-// low vector, flips every free input high, and requires the analyzer to
-// hold a valid arrival for every definite transition the simulator
-// observed. Indefinite (X) endpoints are excluded: an untimed ternary
-// settle cannot claim them.
+// low vector, flips every free input high, then back low, and requires
+// the analyzer to cover the definite transitions of both sweeps — the
+// timing analysis never misses a real rise or a real fall. The same two
+// corner vectors then go through the vectorized batch engine from
+// power-on state: its transition set must be covered bidirectionally too
+// (the 0-corner → 1-corner diff in the rise direction and its reverse in
+// the fall direction), tying the batch engine to the analyzer without a
+// scalar intermediary.
 func conformanceVector(t *testing.T, nw *netlist.Network, fix map[string]string, a *Analyzer) {
 	sim := switchsim.New(nw)
 	for name, v := range fix {
@@ -195,33 +228,41 @@ func conformanceVector(t *testing.T, nw *netlist.Network, fix map[string]string,
 	}
 	setFree(switchsim.V0)
 	sim.Settle()
-	before := make([]switchsim.Value, len(nw.Nodes))
-	for _, n := range nw.Nodes {
-		before[n.Index] = sim.Value(n)
-	}
+	low := sim.Snapshot()
 	setFree(switchsim.V1)
 	sim.Settle()
+	high := sim.Snapshot()
+	setFree(switchsim.V0)
+	sim.Settle()
+	back := sim.Snapshot()
 
-	observed := 0
-	for _, n := range nw.Nodes {
-		if n.IsRail() {
-			continue
-		}
-		was, now := before[n.Index], sim.Value(n)
-		if was == now || was == switchsim.VX || now == switchsim.VX {
-			continue
-		}
-		observed++
-		tr := tech.Rise
-		if now == switchsim.V0 {
-			tr = tech.Fall
-		}
-		if !a.Arrival(n, tr).Valid {
-			t.Errorf("switchsim observed %s %s→%s but the analyzer has no %s arrival",
-				n.Name, was, now, tr)
+	observed := conformanceTransitions(t, nw, a, "up", low, high)
+	observed += conformanceTransitions(t, nw, a, "down", high, back)
+	if observed == 0 {
+		t.Error("vector sweeps produced no definite transitions; sweep is vacuous")
+	}
+
+	// Batch cross-check: the two corner vectors settled independently from
+	// power-on through the 64-lane engine.
+	b := switchsim.NewBatch(nw)
+	inputs := b.Inputs()
+	vecs := make([]switchsim.Value, 0, 2*len(inputs))
+	for _, corner := range []switchsim.Value{switchsim.V0, switchsim.V1} {
+		for _, in := range inputs {
+			if v, fixed := fix[in.Name]; fixed {
+				vecs = append(vecs, switchsim.FromBool(v == "1"))
+			} else {
+				vecs = append(vecs, corner)
+			}
 		}
 	}
-	if observed == 0 {
-		t.Error("vector produced no definite transitions; sweep is vacuous")
+	res, err := b.Run(vecs, nil)
+	if err != nil {
+		t.Fatalf("batch run: %v", err)
+	}
+	batchObserved := conformanceTransitions(t, nw, a, "batch-up", res.Out[0], res.Out[1])
+	batchObserved += conformanceTransitions(t, nw, a, "batch-down", res.Out[1], res.Out[0])
+	if batchObserved == 0 {
+		t.Error("batch corner vectors produced no definite transitions; sweep is vacuous")
 	}
 }

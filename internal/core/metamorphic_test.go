@@ -9,6 +9,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/incremental"
 	"repro/internal/netlist"
+	"repro/internal/switchsim"
 	"repro/internal/tech"
 )
 
@@ -134,6 +135,96 @@ func TestMetamorphicRenaming(t *testing.T) {
 				if rename(we.Node.Name) != ge.Node.Name || we.Event.T != ge.Event.T || we.Tr != ge.Tr {
 					t.Errorf("critical path %d changed under renaming: %s/%s@%g vs %s/%s@%g",
 						i, we.Node.Name, we.Tr, we.Event.T, ge.Node.Name, ge.Tr, ge.Event.T)
+				}
+			}
+		})
+	}
+}
+
+// TestMetamorphicSimRenaming: node names are labels to the switch-level
+// engines too. Renaming every node (indexes preserved) must leave the
+// scalar settle and the vectorized batch settle positionally
+// bit-identical — values, sweep counts and oscillation flags — over a
+// deterministic vector batch that includes released inputs. The relation
+// goes through WriteSim/ReadSim, so it also covers the @-directive
+// remapping (in/out/precharged markers feed the lattice's node sizes).
+func TestMetamorphicSimRenaming(t *testing.T) {
+	p := tech.NMOS4()
+	for _, spec := range append([]string{"bus:3", "decoder:2"}, metamorphicFamilies...) {
+		t.Run(strings.ReplaceAll(spec, ":", "-"), func(t *testing.T) {
+			nw, err := gen.Build(spec, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			text := simText(t, nw)
+			rename := func(s string) string { return "zz_" + s + "_q" }
+			read := func(text string) *netlist.Network {
+				rnw, err := netlist.ReadSim("meta", p, strings.NewReader(text))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rnw
+			}
+			base, ren := read(text), read(mapSimNames(text, rename))
+			if len(base.Nodes) != len(ren.Nodes) {
+				t.Fatalf("renaming changed node count: %d vs %d", len(base.Nodes), len(ren.Nodes))
+			}
+			sizes, rsizes := switchsim.NodeSizes(base), switchsim.NodeSizes(ren)
+			for i := range sizes {
+				if sizes[i] != rsizes[i] {
+					t.Fatalf("node %d (%s): renaming changed size %s → %s",
+						i, base.Nodes[i].Name, sizes[i], rsizes[i])
+				}
+			}
+
+			ni := len(base.Inputs())
+			vecs := make([]switchsim.Value, 0, 3*ni)
+			for _, pattern := range [][]switchsim.Value{
+				{switchsim.V0}, {switchsim.V1},
+				{switchsim.V1, switchsim.VX, switchsim.V0},
+			} {
+				for i := 0; i < ni; i++ {
+					vecs = append(vecs, pattern[i%len(pattern)])
+				}
+			}
+			run := func(nw *netlist.Network) *switchsim.BatchResult {
+				res, err := switchsim.NewBatch(nw).Run(vecs, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			want, got := run(base), run(ren)
+			if want.Sweeps != got.Sweeps {
+				t.Errorf("renaming changed sweep count: %d vs %d", want.Sweeps, got.Sweeps)
+			}
+			for v := 0; v < want.Vectors; v++ {
+				if want.Osc[v] != got.Osc[v] {
+					t.Errorf("vector %d: renaming changed oscillation flag", v)
+				}
+				for n := range want.Out[v] {
+					if want.Out[v][n] != got.Out[v][n] {
+						t.Errorf("vector %d: node %s = %s, renamed %s",
+							v, base.Nodes[n].Name, want.Out[v][n], got.Out[v][n])
+					}
+				}
+			}
+
+			// Scalar engine agrees under the same renaming (first vector).
+			sim, rsim := switchsim.New(base), switchsim.New(ren)
+			for i, in := range base.Inputs() {
+				if err := sim.SetInput(in, vecs[i]); err != nil {
+					t.Fatal(err)
+				}
+				if err := rsim.SetInput(ren.Inputs()[i], vecs[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			sim.Settle()
+			rsim.Settle()
+			for i, n := range base.Nodes {
+				if w, g := sim.Value(n), rsim.Value(ren.Nodes[i]); w != g {
+					t.Errorf("scalar: node %s = %s, renamed %s", n.Name, w, g)
 				}
 			}
 		})

@@ -27,6 +27,25 @@ type Compact struct {
 	GateStart []int32
 	GateRef   []int32
 
+	// TermStart/TermRef are the CSR adjacency of channel (source/drain)
+	// connections: TermRef[TermStart[r]:TermStart[r+1]] lists the devices
+	// whose channel touches the node in ROW r, each packed as
+	// trans index << 1 | otherIsB, where otherIsB says the far terminal is
+	// the device's B node. The switch-level batch simulator walks this CSR
+	// to propagate strengths; like GateRef it is row-indexed, and the
+	// TransGate/TransA/TransB/TransType columns it refers to are in node-
+	// index space (translate through Perm to address rows).
+	TermStart []int32
+	TermRef   []int32
+
+	// Per-transistor columns: gate and channel terminal node INDEXES and
+	// the device type (a tech.Device value), flattened so simulators never
+	// chase Trans pointers in an inner loop.
+	TransGate []int32
+	TransA    []int32
+	TransB    []int32
+	TransType []uint8
+
 	// Per-row flags the drain's improve/propagate steps test.
 	IsRail     []bool
 	IsInput    []bool
@@ -74,6 +93,21 @@ func UnpackGateRef(r int32) (transIndex int, conductsOn1 bool) {
 	return int(r >> 1), r&1 == 1
 }
 
+// PackTermRef packs a channel adjacency entry.
+func PackTermRef(transIndex int, otherIsB bool) int32 {
+	r := int32(transIndex) << 1
+	if otherIsB {
+		r |= 1
+	}
+	return r
+}
+
+// UnpackTermRef unpacks a channel adjacency entry into the transistor
+// index and whether the far terminal is the device's B node.
+func UnpackTermRef(r int32) (transIndex int, otherIsB bool) {
+	return int(r >> 1), r&1 == 1
+}
+
 // Compile builds the compact form of nw in construction order (identity
 // layout). Use CompileWith to apply the locality reordering.
 func Compile(nw *Network) *Compact {
@@ -96,14 +130,18 @@ func CompileWith(nw *Network, opt CompileOptions) *Compact {
 		NumRegions: ord.regions,
 	}
 	total := 0
+	terms := 0
 	for _, n := range nw.Nodes {
 		for _, t := range n.Gates {
 			if !t.AlwaysOn() {
 				total++
 			}
 		}
+		terms += len(n.Terms)
 	}
 	c.GateRef = make([]int32, 0, total)
+	c.TermStart = make([]int32, len(nw.Nodes)+1)
+	c.TermRef = make([]int32, 0, terms)
 	for row := range nw.Nodes {
 		n := nw.Nodes[ord.inv[row]]
 		c.GateStart[row] = int32(len(c.GateRef))
@@ -113,12 +151,27 @@ func CompileWith(nw *Network, opt CompileOptions) *Compact {
 			}
 			c.GateRef = append(c.GateRef, PackGateRef(t.Index, t.ConductsOn() == 1))
 		}
+		c.TermStart[row] = int32(len(c.TermRef))
+		for _, t := range n.Terms {
+			c.TermRef = append(c.TermRef, PackTermRef(t.Index, t.A == n))
+		}
 		c.IsRail[row] = n.IsRail()
 		c.IsInput[row] = n.Kind == KindInput
 		c.Precharged[row] = n.Precharged
 		c.HasTerms[row] = len(n.Terms) > 0
 	}
 	c.GateStart[len(nw.Nodes)] = int32(len(c.GateRef))
+	c.TermStart[len(nw.Nodes)] = int32(len(c.TermRef))
+	c.TransGate = make([]int32, len(nw.Trans))
+	c.TransA = make([]int32, len(nw.Trans))
+	c.TransB = make([]int32, len(nw.Trans))
+	c.TransType = make([]uint8, len(nw.Trans))
+	for i, t := range nw.Trans {
+		c.TransGate[i] = int32(t.Gate.Index)
+		c.TransA[i] = int32(t.A.Index)
+		c.TransB[i] = int32(t.B.Index)
+		c.TransType[i] = uint8(t.Type)
+	}
 	return c
 }
 
@@ -127,6 +180,13 @@ func CompileWith(nw *Network, opt CompileOptions) *Compact {
 func (c *Compact) Gates(n int) []int32 {
 	r := c.Perm[n]
 	return c.GateRef[c.GateStart[r]:c.GateStart[r+1]]
+}
+
+// Terms returns the packed channel refs of node index n (translating
+// through the row permutation).
+func (c *Compact) Terms(n int) []int32 {
+	r := c.Perm[n]
+	return c.TermRef[c.TermStart[r]:c.TermStart[r+1]]
 }
 
 // Row returns the compiled row of node index n.

@@ -82,8 +82,15 @@ type metrics struct {
 	editsFull        atomic.Int64 // barriers that fell back to a full drain
 	drainEpochs      atomic.Int64 // cumulative stage-DB generations advanced
 
-	analyzeLatency latencyRecorder // one full analyze
-	editLatency    latencyRecorder // one edit barrier (Reanalyze + report)
+	simRequests     atomic.Int64 // POST .../simulate calls served
+	simVectors      atomic.Int64 // input vectors settled by the batch engine
+	simSweeps       atomic.Int64 // cumulative settle sweeps across all batches
+	simOscillations atomic.Int64 // vectors that tripped the oscillation cutoff
+	simCompiles     atomic.Int64 // batch-engine (re)compiles (first use or post-edit)
+
+	analyzeLatency  latencyRecorder // one full analyze
+	editLatency     latencyRecorder // one edit barrier (Reanalyze + report)
+	simulateLatency latencyRecorder // one simulate batch (compile + settle)
 
 	// Speculative-drain counters, aggregated across every parallel drain
 	// any session ran (serial drains contribute zeros). See
@@ -140,6 +147,13 @@ type MetricsSnapshot struct {
 		Full        int64 `json:"full"`
 		DrainEpochs int64 `json:"drain_epochs"`
 	} `json:"edits"`
+	Sim struct {
+		Requests     int64 `json:"requests"`
+		Vectors      int64 `json:"vectors"`
+		Sweeps       int64 `json:"sweeps"`
+		Oscillations int64 `json:"oscillations"`
+		Compiles     int64 `json:"compiles"`
+	} `json:"sim"`
 	Drain struct {
 		Batches     int64   `json:"batches"`
 		BatchSize   float64 `json:"batch_size"` // mean frontier batch size
@@ -154,6 +168,7 @@ type MetricsSnapshot struct {
 	LatencyNs struct {
 		Analyze     LatencyStats `json:"analyze"`
 		EditBarrier LatencyStats `json:"edit_barrier"`
+		Simulate    LatencyStats `json:"simulate"`
 	} `json:"latency_ns"`
 }
 
@@ -174,6 +189,11 @@ func (m *metrics) snapshot(live int) MetricsSnapshot {
 	s.Edits.Incremental = m.editsIncremental.Load()
 	s.Edits.Full = m.editsFull.Load()
 	s.Edits.DrainEpochs = m.drainEpochs.Load()
+	s.Sim.Requests = m.simRequests.Load()
+	s.Sim.Vectors = m.simVectors.Load()
+	s.Sim.Sweeps = m.simSweeps.Load()
+	s.Sim.Oscillations = m.simOscillations.Load()
+	s.Sim.Compiles = m.simCompiles.Load()
 	s.Drain.Batches = m.drainBatches.Load()
 	if items := m.drainBatchItems.Load(); s.Drain.Batches > 0 {
 		s.Drain.BatchSize = float64(items) / float64(s.Drain.Batches)
@@ -189,5 +209,6 @@ func (m *metrics) snapshot(live int) MetricsSnapshot {
 	s.Drain.Regions = m.drainRegions.Load()
 	s.LatencyNs.Analyze = m.analyzeLatency.stats()
 	s.LatencyNs.EditBarrier = m.editLatency.stats()
+	s.LatencyNs.Simulate = m.simulateLatency.stats()
 	return s
 }

@@ -15,6 +15,7 @@
 //	DELETE /v1/sessions/{id}          evict a session
 //	POST   /v1/sessions/{id}/analyze  full analysis ({"workers": N})
 //	POST   /v1/sessions/{id}/edits    edit script ({"script": "..."}), incremental
+//	POST   /v1/sessions/{id}/simulate settle input vectors ({"vectors": ["01X", ...]})
 //	GET    /v1/sessions/{id}/critical top-N critical paths (?n=, from snapshot)
 //	GET    /healthz                   liveness
 //	GET    /metrics                   counters + latency percentiles (JSON)
@@ -101,6 +102,7 @@ func New(opts Options) *Server {
 	sv.mux.HandleFunc("DELETE /v1/sessions/{id}", sv.handleDelete)
 	sv.mux.HandleFunc("POST /v1/sessions/{id}/analyze", sv.handleAnalyze)
 	sv.mux.HandleFunc("POST /v1/sessions/{id}/edits", sv.handleEdits)
+	sv.mux.HandleFunc("POST /v1/sessions/{id}/simulate", sv.handleSimulate)
 	sv.mux.HandleFunc("GET /v1/sessions/{id}/critical", sv.handleCritical)
 	sv.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})

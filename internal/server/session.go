@@ -175,7 +175,26 @@ type session struct {
 	barriers  int            // run barriers applied over the session lifetime
 	lastEpoch uint64         // stage-DB generation at the last metrics update
 
+	// batch is the compiled vectorized switch-level engine, built lazily on
+	// the first /simulate and rebuilt whenever edits advance the network
+	// generation (batchNW tracks which generation it was compiled from).
+	batch   *switchsim.Batch
+	batchNW *netlist.Network
+
 	snap atomic.Pointer[Snapshot]
+}
+
+// batchEngine returns the session's compiled vectorized simulator,
+// compiling (or recompiling after an edit generation) on demand; compiled
+// reports whether this call built a fresh engine. Callers hold s.mu — the
+// engine's slab state is single-writer like the analyzer.
+func (s *session) batchEngine() (b *switchsim.Batch, compiled bool) {
+	if s.batch == nil || s.batchNW != s.nw {
+		s.batch = switchsim.NewBatch(s.nw)
+		s.batchNW = s.nw
+		compiled = true
+	}
+	return s.batch, compiled
 }
 
 // newSession loads the network — from the .simx snapshot cache when

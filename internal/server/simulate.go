@@ -1,0 +1,186 @@
+// POST /v1/sessions/{id}/simulate: functional regression over the resident
+// netlist through the vectorized strength-lattice engine. Every request
+// vector settles independently from power-on state, 64 vectors per
+// bit-plane slab, so a resident session doubles as a truth-table service:
+// load once, stream vectors, re-verify after every edit (the compiled
+// engine is rebuilt automatically when edits advance the network
+// generation).
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/netlist"
+	"repro/internal/switchsim"
+)
+
+// simulateRequest is the POST .../simulate body. Vectors is required; each
+// entry is one symbol per input column ('0', '1', 'X'/'x' = released;
+// spaces and tabs between symbols are ignored).
+type simulateRequest struct {
+	// Inputs maps vector columns to these input nodes, in order. Default:
+	// every input in netlist order. Unmapped inputs stay released (X).
+	Inputs []string `json:"inputs,omitempty"`
+	// Watch selects the nodes reported per vector. Default: the netlist's
+	// marked outputs.
+	Watch   []string `json:"watch,omitempty"`
+	Vectors []string `json:"vectors"`
+}
+
+// simulateResult is one settled vector: the canonical echo of its input
+// symbols, the watched node values in Watch order, and whether the settle
+// hit the oscillation cutoff (oscillating nodes report X).
+type simulateResult struct {
+	Vector     string   `json:"vector"`
+	Values     []string `json:"values"`
+	Oscillated bool     `json:"oscillated,omitempty"`
+}
+
+// simulateResponse is the simulate reply.
+type simulateResponse struct {
+	Session string `json:"session"`
+	// Compiled reports whether this request built the batch engine (first
+	// simulate on the session, or the first after an edit barrier).
+	Compiled   bool             `json:"compiled"`
+	Inputs     []string         `json:"inputs"`
+	Watch      []string         `json:"watch"`
+	Vectors    int              `json:"vectors"`
+	Sweeps     int              `json:"sweeps"`
+	Results    []simulateResult `json:"results"`
+	DurationNs int64            `json:"duration_ns"`
+}
+
+func (sv *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	s := sv.lookup(r.PathValue("id"))
+	if s == nil {
+		writeErr(w, http.StatusNotFound, "no session %q", r.PathValue("id"))
+		return
+	}
+	var req simulateRequest
+	if err := decodeOptional(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Vectors) == 0 {
+		writeErr(w, http.StatusBadRequest, "missing vectors")
+		return
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := time.Now()
+	b, compiled := s.batchEngine()
+	inputs := b.Inputs()
+	if len(inputs) == 0 {
+		writeErr(w, http.StatusUnprocessableEntity, "netlist has no input nodes")
+		return
+	}
+
+	// Resolve the vector columns (request order) onto engine input columns.
+	colOf := make(map[string]int, len(inputs))
+	for i, n := range inputs {
+		colOf[n.Name] = i
+	}
+	cols := make([]int, 0, len(inputs))
+	colNames := req.Inputs
+	if len(req.Inputs) == 0 {
+		colNames = b.InputNames()
+		for i := range inputs {
+			cols = append(cols, i)
+		}
+	} else {
+		for _, name := range req.Inputs {
+			c, ok := colOf[name]
+			if !ok {
+				writeErr(w, http.StatusBadRequest, "%q is not an input node", name)
+				return
+			}
+			cols = append(cols, c)
+		}
+	}
+
+	watch := s.nw.Outputs()
+	if len(req.Watch) > 0 {
+		watch = watch[:0:0]
+		for _, name := range req.Watch {
+			n := s.nw.Lookup(name)
+			if n == nil {
+				writeErr(w, http.StatusBadRequest, "no node named %q", name)
+				return
+			}
+			watch = append(watch, n)
+		}
+	}
+	if len(watch) == 0 {
+		writeErr(w, http.StatusBadRequest,
+			"no nodes to watch: netlist marks no outputs, set \"watch\"")
+		return
+	}
+
+	// Parse the vectors into full-width rows; unmapped inputs stay released.
+	vecs := make([]switchsim.Value, 0, len(req.Vectors)*len(inputs))
+	echo := make([]string, len(req.Vectors))
+	for vi, row := range req.Vectors {
+		vals, err := switchsim.ParseVector(row, len(cols))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "vector %d: %v", vi, err)
+			return
+		}
+		full := make([]switchsim.Value, len(inputs))
+		for i := range full {
+			full[i] = switchsim.VX
+		}
+		sym := make([]byte, 0, len(vals))
+		for i, v := range vals {
+			full[cols[i]] = v
+			sym = append(sym, v.String()[0])
+		}
+		vecs = append(vecs, full...)
+		echo[vi] = string(sym)
+	}
+
+	res, err := b.Run(vecs, watch)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	dur := time.Since(start)
+
+	sv.m.simRequests.Add(1)
+	sv.m.simVectors.Add(int64(res.Vectors))
+	sv.m.simSweeps.Add(int64(res.Sweeps))
+	if compiled {
+		sv.m.simCompiles.Add(1)
+	}
+	sv.m.simulateLatency.observe(dur)
+
+	resp := simulateResponse{
+		Session: s.id, Compiled: compiled,
+		Inputs: colNames, Watch: nodeNames(watch),
+		Vectors: res.Vectors, Sweeps: res.Sweeps,
+		Results:    make([]simulateResult, res.Vectors),
+		DurationNs: dur.Nanoseconds(),
+	}
+	for v := 0; v < res.Vectors; v++ {
+		vals := make([]string, len(watch))
+		for i := range watch {
+			vals[i] = res.Out[v][i].String()
+		}
+		if res.Osc[v] {
+			sv.m.simOscillations.Add(1)
+		}
+		resp.Results[v] = simulateResult{
+			Vector: echo[v], Values: vals, Oscillated: res.Osc[v],
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func nodeNames(nodes []*netlist.Node) []string {
+	names := make([]string, len(nodes))
+	for i, n := range nodes {
+		names[i] = n.Name
+	}
+	return names
+}

@@ -1,12 +1,24 @@
 // Package switchsim is a three-valued switch-level logic simulator in the
-// tradition of esim/IRSIM: node values are {0, 1, X}, signals carry
-// strengths {power, drive, depletion, charge}, and networks settle by
-// fixpoint iteration over channel-connected groups.
+// tradition of Bryant's MOSSIM and esim/IRSIM: node values are {0, 1, X},
+// signals carry strengths drawn from a totally ordered lattice
+// (Ω > G1 > G2 > K2 > K1), and networks settle by fixed-point iteration
+// over channel-connected groups.
 //
-// The timing verifier uses it to establish steady-state node values (which
-// transistors definitely conduct, which definitely do not), and the test
-// suite uses it to verify the functional correctness of every generated
-// circuit — an ALU that doesn't add is not worth timing.
+// Node sizes are assigned at build time: rails and chip inputs are Ω
+// (their state is externally imposed), precharged or high-capacitance
+// storage nodes are K2, and every other storage node is K1. Transistor
+// strengths come from the device type: depletion pullups conduct at G2,
+// everything else at G1, and wire resistors are transparent. Charge
+// sharing, ratioed logic, and X-propagation all fall out of joining
+// (strength, value) pairs over this lattice — there are no ad-hoc rules.
+//
+// The timing verifier uses the simulator to establish steady-state node
+// values (which transistors definitely conduct, which definitely do not),
+// and the test suite uses it to verify the functional correctness of every
+// generated circuit — an ALU that doesn't add is not worth timing. The
+// vectorized Batch engine (batch.go) streams thousands of vectors through
+// the same lattice in bit-plane form and is pinned bit-identical to this
+// scalar engine, which is the reference implementation.
 package switchsim
 
 import (
@@ -59,24 +71,92 @@ func FromBool(b bool) Value {
 	return V0
 }
 
-// strength orders signal sources from weakest to strongest.
-type strength uint8
+// Strength is a signal strength in Bryant's totally ordered lattice,
+// weakest to strongest. K1/K2 are node sizes (stored charge), G2/G1 are
+// transistor drive strengths, and Ω is an externally imposed input.
+type Strength uint8
 
 const (
-	sNone   strength = iota
-	sCharge          // stored charge on a capacitive node
-	sDep             // through a depletion-mode pullup
-	sDrive           // through an on enhancement transistor from power
-	sPower           // rails and chip inputs
+	// SNone is the absence of a contribution.
+	SNone Strength = iota
+	// SK1 is stored charge on an ordinary storage node.
+	SK1
+	// SK2 is stored charge on a large node: precharged buses and other
+	// deliberately loaded capacitors that dominate ordinary charge in a
+	// sharing event.
+	SK2
+	// SG2 is drive through a depletion-mode pullup — the weak side of
+	// every ratioed-nMOS fight.
+	SG2
+	// SG1 is drive through an on enhancement transistor.
+	SG1
+	// SOmega is the strength of rails and driven inputs: unoverridable.
+	SOmega
 )
+
+// String renders the strength in the paper's notation.
+func (s Strength) String() string {
+	switch s {
+	case SK1:
+		return "K1"
+	case SK2:
+		return "K2"
+	case SG2:
+		return "G2"
+	case SG1:
+		return "G1"
+	case SOmega:
+		return "Ω"
+	}
+	return "-"
+}
+
+// K2CapFloor is the total node capacitance (farads) at or above which a
+// storage node is assigned size K2 rather than K1. 100 fF is an order of
+// magnitude above a routine gate load in the built-in technology, so only
+// deliberately loaded nodes (buses, long wires, big fanout nets) cross it.
+const K2CapFloor = 100e-15
+
+// NodeSizes assigns every node its build-time size: Ω for rails and chip
+// inputs, K2 for precharged or high-capacitance storage, K1 otherwise.
+// Both the scalar and the batch engine derive their sizes from this one
+// function, so the two can never disagree on the lattice.
+func NodeSizes(nw *netlist.Network) []Strength {
+	sizes := make([]Strength, len(nw.Nodes))
+	for _, n := range nw.Nodes {
+		switch {
+		case n.IsRail() || n.Kind == netlist.KindInput:
+			sizes[n.Index] = SOmega
+		case n.Precharged || nw.NodeCap(n) >= K2CapFloor:
+			sizes[n.Index] = SK2
+		default:
+			sizes[n.Index] = SK1
+		}
+	}
+	return sizes
+}
+
+// DeviceStrength returns the maximum strength a signal retains after
+// passing through a transistor's channel: G2 through depletion loads, G1
+// through enhancement devices. Wire resistors are transparent — a driven
+// signal stays driven across interconnect.
+func DeviceStrength(t *netlist.Trans) Strength {
+	switch t.Type {
+	case tech.NDep:
+		return SG2
+	case tech.RWire:
+		return SOmega
+	}
+	return SG1
+}
 
 // sig is a strength/value pair, the element of the resolution lattice.
 type sig struct {
-	s strength
+	s Strength
 	v Value
 }
 
-// combine merges two contributions: higher strength wins, equal strengths
+// combine joins two contributions: higher strength wins, equal strengths
 // with disagreeing values yield X.
 func combine(a, b sig) sig {
 	switch {
@@ -105,10 +185,11 @@ const (
 // inputs, call Settle, read values.
 type Sim struct {
 	nw     *netlist.Network
-	val    []Value // current value per node index
-	fixed  []bool  // rails and driven inputs
-	osc    []bool  // nodes forced to X by oscillation detection
-	settle int     // settle calls, for diagnostics
+	size   []Strength // build-time node size per index
+	val    []Value    // current value per node index
+	fixed  []bool     // rails and driven inputs
+	osc    []bool     // nodes forced to X by oscillation detection
+	settle int        // settle calls, for diagnostics
 
 	// scratch reused across Settle calls
 	dirty   []bool
@@ -121,23 +202,39 @@ type Sim struct {
 func New(nw *netlist.Network) *Sim {
 	s := &Sim{
 		nw:      nw,
+		size:    NodeSizes(nw),
 		val:     make([]Value, len(nw.Nodes)),
 		fixed:   make([]bool, len(nw.Nodes)),
 		osc:     make([]bool, len(nw.Nodes)),
 		dirty:   make([]bool, len(nw.Nodes)),
 		groupID: make([]int, len(nw.Nodes)),
 	}
-	for _, n := range nw.Nodes {
-		s.val[n.Index] = VX
-	}
-	s.val[nw.Vdd().Index] = V1
-	s.fixed[nw.Vdd().Index] = true
-	s.val[nw.GND().Index] = V0
-	s.fixed[nw.GND().Index] = true
+	s.Reset()
 	return s
 }
 
-// SetInput drives node n to value v as a strong source. Rails cannot be
+// Reset restores the power-on state: rails at their values, every other
+// node released to X, no oscillation flags. The next Settle evaluates the
+// whole network, exactly like a freshly constructed Sim.
+func (s *Sim) Reset() {
+	for i := range s.val {
+		s.val[i] = VX
+		s.fixed[i] = false
+		s.osc[i] = false
+		s.dirty[i] = false
+	}
+	s.queue = s.queue[:0]
+	s.settle = 0
+	s.val[s.nw.Vdd().Index] = V1
+	s.fixed[s.nw.Vdd().Index] = true
+	s.val[s.nw.GND().Index] = V0
+	s.fixed[s.nw.GND().Index] = true
+}
+
+// NodeSize returns the build-time size of node n.
+func (s *Sim) NodeSize(n *netlist.Node) Strength { return s.size[n.Index] }
+
+// SetInput drives node n to value v as an Ω source. Rails cannot be
 // overridden. Passing VX releases the node back to undriven unknown.
 func (s *Sim) SetInput(n *netlist.Node, v Value) error {
 	if n.IsRail() {
@@ -155,9 +252,9 @@ func (s *Sim) SetInput(n *netlist.Node, v Value) error {
 }
 
 // SetValue overwrites node n's *stored* value without driving it: the
-// node keeps charge-strength state, as if it had been driven earlier and
-// then released. Clocked analyses use this to carry latched state across
-// phases. Rails cannot be overwritten.
+// node keeps charge-strength state (its size, K1 or K2), as if it had been
+// driven earlier and then released. Clocked analyses use this to carry
+// latched state across phases. Rails cannot be overwritten.
 func (s *Sim) SetValue(n *netlist.Node, v Value) error {
 	if n.IsRail() {
 		return fmt.Errorf("switchsim: cannot overwrite rail %s", n.Name)
@@ -226,15 +323,30 @@ func (s *Sim) conducts(t *netlist.Trans) conduction {
 	}
 }
 
+// change is a value update proposed by a sweep, committed only after every
+// group in the sweep has resolved.
+type change struct {
+	idx int
+	v   Value
+}
+
 // Settle iterates until all node values are stable, or until the
 // iteration bound is reached, in which case still-changing nodes are
 // forced to X and marked as oscillating. It returns the number of sweeps
-// performed. On first call (or after SetInput on many nodes) it evaluates
-// everything; later calls are incremental from dirty nodes.
+// performed. The first call evaluates everything; later calls are
+// incremental from dirty nodes.
+//
+// Each sweep is synchronous (Jacobi): conduction states and stored values
+// are frozen at the start of the sweep, every affected channel group is
+// resolved to its lattice fixed point against that frozen state, and all
+// new values commit together at the end of the sweep. The batch engine
+// performs exactly the same global synchronous sweep per vector lane,
+// which is what makes the two engines bit-identical sweep by sweep.
 func (s *Sim) Settle() int {
 	s.settle++
-	if s.settle == 1 && len(s.queue) == 0 {
-		// First settle with no explicit inputs: evaluate everything.
+	if s.settle == 1 {
+		// First settle: evaluate everything, including subnetworks not
+		// reachable from any input (tied pullups, constant stages).
 		for i := range s.nw.Nodes {
 			s.markDirty(i)
 		}
@@ -245,12 +357,9 @@ func (s *Sim) Settle() int {
 	limit := 20 + 2*len(s.nw.Nodes)
 	hard := 2*limit + 2*len(s.nw.Nodes)
 	sweeps := 0
-	xmode := false // oscillation recovery: changes collapse to X
 	for len(s.queue) > 0 {
 		sweeps++
-		if sweeps > limit {
-			xmode = true
-		}
+		xmode := sweeps > limit
 		if sweeps > hard {
 			// Safety net: abandon whatever still ping-pongs.
 			for _, idx := range s.queue {
@@ -276,29 +385,35 @@ func (s *Sim) Settle() int {
 				seeds = append(seeds, t.A.Index, t.B.Index)
 			}
 		}
-		changed := s.resolveGroups(seeds)
-		for _, idx := range changed {
-			if xmode && !s.fixed[idx] && s.val[idx] != VX {
+		for _, ch := range s.resolveGroups(seeds) {
+			nv := ch.v
+			if xmode && !s.fixed[ch.idx] {
 				// Oscillation recovery: a node still changing after the
 				// sweep limit has no stable value — it becomes X, and X
 				// then spreads monotonically until the loop quiesces.
-				s.val[idx] = VX
-				s.osc[idx] = true
+				if nv != VX {
+					s.osc[ch.idx] = true
+				}
+				nv = VX
 			}
-			s.markDirty(idx)
+			if nv != s.val[ch.idx] {
+				s.val[ch.idx] = nv
+				s.markDirty(ch.idx)
+			}
 		}
 	}
 	return sweeps
 }
 
 // resolveGroups collects the channel-connected groups containing the seed
-// nodes (through non-off transistors), resolves each, applies new values,
-// and returns the indexes whose value changed.
-func (s *Sim) resolveGroups(seeds []int) []int {
+// nodes (through non-off transistors), resolves each against the frozen
+// sweep state, and returns the proposed value changes. Nothing is written
+// back here — the caller commits after the whole sweep resolves.
+func (s *Sim) resolveGroups(seeds []int) []change {
 	for i := range s.groupID {
 		s.groupID[i] = -1
 	}
-	var changed []int
+	var changed []change
 	gid := 0
 	for _, seed := range seeds {
 		n := s.nw.Nodes[seed]
@@ -368,8 +483,8 @@ func (s *Sim) collectGroup(seed, gid int) []int {
 // result with the opposite value.
 type nodeSig struct {
 	def    sig
-	potHi  strength // strongest possible contribution of value 1 or X
-	potLo  strength // strongest possible contribution of value 0 or X
+	potHi  Strength // strongest possible contribution of value 1 or X
+	potLo  Strength // strongest possible contribution of value 0 or X
 	source bool     // rails and fixed inputs: immutable during resolution
 }
 
@@ -385,14 +500,14 @@ func (ns nodeSig) value() Value {
 	return v
 }
 
-// baseSig returns the node's intrinsic contribution: its power value for
-// sources, its stored charge otherwise.
+// baseSig returns the node's intrinsic contribution: its input value at Ω
+// for sources, its stored charge at the node's size otherwise.
 func (s *Sim) baseSig(idx int) nodeSig {
 	n := s.nw.Nodes[idx]
-	st := sCharge
+	st := s.size[idx]
 	src := false
 	if n.IsRail() || s.fixed[idx] {
-		st = sPower
+		st = SOmega
 		src = true
 	}
 	v := s.val[idx]
@@ -406,43 +521,72 @@ func (s *Sim) baseSig(idx int) nodeSig {
 	return ns
 }
 
-// strengthCap returns the maximum strength a signal retains after passing
-// through transistor t: drive through enhancement devices, depletion
-// through depletion loads. Wire resistors are transparent — a driven
-// signal stays driven across interconnect.
-func strengthCap(t *netlist.Trans) strength {
-	switch t.Type {
-	case tech.NDep:
-		return sDep
-	case tech.RWire:
-		return sPower
-	}
-	return sDrive
-}
-
-func minStrength(a, b strength) strength {
+func minStrength(a, b Strength) Strength {
 	if a < b {
 		return a
 	}
 	return b
 }
 
-func maxStrength(a, b strength) strength {
+func maxStrength(a, b Strength) Strength {
 	if a > b {
 		return a
 	}
 	return b
 }
 
-// resolveGroup computes the fixpoint of the strength/value lattice on one
-// channel group and writes back values, returning changed node indexes.
-func (s *Sim) resolveGroup(group []int) []int {
+// resolveGroup computes the least fixed point of the strength/value
+// lattice on one channel group against the frozen sweep state, in the
+// standard two passes: first driven signals (sources spreading through the
+// channel graph at G-or-better strength), then stored charge joined in and
+// relaxed again. Because the join is monotone the staging never changes
+// the result — the least fixed point is unique — but it mirrors the
+// standard presentation and lets charge sharing be read directly off the
+// second pass. Returns proposed changes; the caller commits them.
+func (s *Sim) resolveGroup(group []int) []change {
 	sigs := make(map[int]nodeSig, len(group))
+	// Pass 1 — driven: only sources contribute their base signals; every
+	// storage node starts empty and receives drive through the graph.
 	for _, idx := range group {
-		sigs[idx] = s.baseSig(idx)
+		base := s.baseSig(idx)
+		if !base.source {
+			base = nodeSig{def: sig{SNone, VX}}
+		}
+		sigs[idx] = base
 	}
-	// Relax until stable. Each pass propagates one transistor hop, so
-	// the group diameter bounds the iteration count.
+	s.relaxGroup(group, sigs)
+	// Pass 2 — charged: join each storage node's stored charge (at its
+	// size) into the driven solution and relax to the full fixed point.
+	for _, idx := range group {
+		cur := sigs[idx]
+		if cur.source {
+			continue
+		}
+		base := s.baseSig(idx)
+		cur.def = combine(cur.def, base.def)
+		cur.potHi = maxStrength(cur.potHi, base.potHi)
+		cur.potLo = maxStrength(cur.potLo, base.potLo)
+		sigs[idx] = cur
+	}
+	s.relaxGroup(group, sigs)
+	var changed []change
+	for _, idx := range group {
+		ns := sigs[idx]
+		if ns.source {
+			continue
+		}
+		if nv := ns.value(); nv != s.val[idx] {
+			changed = append(changed, change{idx, nv})
+		}
+	}
+	return changed
+}
+
+// relaxGroup runs the monotone relaxation to its fixed point: each pass
+// joins every node's current state with its neighbors' contributions,
+// attenuated by the connecting device's strength. Each pass propagates at
+// least one transistor hop, so the group size bounds the iteration count.
+func (s *Sim) relaxGroup(group []int, sigs map[int]nodeSig) {
 	for pass := 0; pass <= len(group)+1; pass++ {
 		anyChange := false
 		for _, idx := range group {
@@ -450,7 +594,7 @@ func (s *Sim) resolveGroup(group []int) []int {
 			if cur.source {
 				continue
 			}
-			acc := s.baseSig(idx)
+			acc := cur
 			n := s.nw.Nodes[idx]
 			for _, t := range n.Terms {
 				cond := s.conducts(t)
@@ -467,7 +611,7 @@ func (s *Sim) resolveGroup(group []int) []int {
 					// boundary, or another component).
 					src = s.baseSig(o.Index)
 				}
-				cap := strengthCap(t)
+				cap := DeviceStrength(t)
 				if cond == condOn {
 					acc.def = combine(acc.def, sig{minStrength(src.def.s, cap), src.def.v})
 				}
@@ -485,18 +629,6 @@ func (s *Sim) resolveGroup(group []int) []int {
 			break
 		}
 	}
-	var changed []int
-	for _, idx := range group {
-		ns := sigs[idx]
-		if ns.source {
-			continue
-		}
-		if nv := ns.value(); nv != s.val[idx] {
-			s.val[idx] = nv
-			changed = append(changed, idx)
-		}
-	}
-	return changed
 }
 
 // ApplyVector sets several inputs by name and settles; a convenience for

@@ -116,6 +116,66 @@ END {
 echo "wrote $OUT2"
 cat "$OUT2"
 
+# BENCH_6.json: vectorized functional regression. BenchmarkBatchSim
+# streams the same 1024-vector truth-table sweep over the composed E6
+# chip through the 64-lane bit-plane batch engine and (a 64-vector
+# subsample, identical rows) through the scalar engine; the headline
+# number is the per-vector speedup of the vectorized settle. Not a
+# scaling sweep — both arms are single-threaded, so the record is valid
+# on any runner.
+OUT6=BENCH_6.json
+go test -run '^$' -bench 'BenchmarkBatchSim' \
+    -benchtime 1x -count 3 . | tee "$RAW"
+
+awk '
+/^BenchmarkBatchSim\/batch/ {
+    bns = bns $3 ","
+    for (i = 5; i < NF; i += 2) {
+        if ($(i + 1) == "vec/s")       bvec = bvec $i ","
+        if ($(i + 1) == "MB/s")        bmbs = bmbs $i ","
+        if ($(i + 1) == "sweeps")      bsw = bsw $i ","
+        if ($(i + 1) == "transistors") btr = $i
+    }
+}
+/^BenchmarkBatchSim\/scalar/ {
+    sns = sns $3 ","
+    for (i = 5; i < NF; i += 2)
+        if ($(i + 1) == "vec/s") svec = svec $i ","
+}
+function median(csv,   r, n, i, j, t) {
+    sub(/,$/, "", csv)
+    n = split(csv, r, ",")
+    for (i = 1; i < n; i++)
+        for (j = i + 1; j <= n; j++)
+            if (r[j] + 0 < r[i] + 0) { t = r[i]; r[i] = r[j]; r[j] = t }
+    return r[int((n + 1) / 2)]
+}
+END {
+    bc = bns; sub(/,$/, "", bc)
+    sc = sns; sub(/,$/, "", sc)
+    printf "{\n  \"benchmark\": \"BenchmarkBatchSim\",\n"
+    printf "  \"machine\": %s,\n", machine
+    printf "  \"vectors\": 1024,\n"
+    printf "  \"transistors\": %s,\n", btr
+    printf "  \"batch\": {\n"
+    printf "    \"runs_ns_op\": [%s],\n", bc
+    printf "    \"median_ns_op\": %s,\n", median(bns)
+    printf "    \"vectors_per_s\": %s,\n", median(bvec)
+    printf "    \"mb_per_s\": %s,\n", median(bmbs)
+    printf "    \"sweeps\": %s\n", median(bsw)
+    printf "  },\n"
+    printf "  \"scalar\": {\n"
+    printf "    \"runs_ns_op\": [%s],\n", sc
+    printf "    \"median_ns_op\": %s,\n", median(sns)
+    printf "    \"vectors_per_s\": %s\n", median(svec)
+    printf "  },\n"
+    printf "  \"speedup_batch_vs_scalar\": %.1f\n", median(bvec) / median(svec)
+    printf "}\n"
+}' machine="$MACHINE" "$RAW" > "$OUT6"
+
+echo "wrote $OUT6"
+cat "$OUT6"
+
 fi # BENCH_ONLY != scaling
 
 # Scaling sweeps (BENCH_3, BENCH_4, BENCH_5) are meaningless on one CPU:

@@ -64,9 +64,22 @@ transcript() {
   echo "== analyze =="
   curl -s -X POST "$base/v1/sessions/$sid/analyze" -d '{"workers":2}' | jq -S "$norm"
 
+  echo "== simulate =="
+  curl -s -X POST "$base/v1/sessions/$sid/simulate" \
+    -d '{"inputs":["wr","d"],"watch":["q","out"],"vectors":["11","10","01","X1"]}' |
+    jq -S "$norm"
+
   echo "== edits =="
   curl -s -X POST "$base/v1/sessions/$sid/edits" \
     -d '{"script":"cap q 20e-15\nrun\ncap qb 10e-15\ncap q -20e-15\nrun\n"}' |
+    jq -S "$norm"
+
+  # Post-edit simulate: the edit advanced the network generation, so the
+  # batch engine recompiles (compiled == true again) and the settled
+  # values still match the pre-edit truth table.
+  echo "== simulate after edits =="
+  curl -s -X POST "$base/v1/sessions/$sid/simulate" \
+    -d '{"inputs":["wr","d"],"watch":["q","out"],"vectors":["11","10"]}' |
     jq -S "$norm"
 
   echo "== critical =="
