@@ -10,7 +10,10 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"testing"
 	"time"
@@ -626,6 +629,135 @@ func BenchmarkIngestSnapshotLoad(b *testing.B) {
 	perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
 	b.ReportMetric(perOp/float64(ingestTrans), "ns/transistor")
 	b.ReportMetric(float64(len(ingestSnap))/perOp*1e9/1e6, "MB/s")
+}
+
+var (
+	ingestXLOnce  sync.Once
+	ingestXLV1    string // v1-format .simx path
+	ingestXLV2    string // v2-format .simx path
+	ingestXLHash  [32]byte
+	ingestXLTrans int
+	ingestXLNodes int
+)
+
+// ingestXLCorpus materializes the E6-XL scale point (chip:32,10 — 100k+
+// nodes, ~182k transistors) once, persisted in both snapshot formats so
+// BENCH_7 compares mmap ingest against the v1 heap decoder on identical
+// content.
+func ingestXLCorpus(b *testing.B) {
+	b.Helper()
+	ingestXLOnce.Do(func() {
+		p := tech.NMOS4()
+		nw, err := gen.ChipGrid(p, 32, 10)
+		if err != nil {
+			panic(err)
+		}
+		var buf bytes.Buffer
+		if err := netlist.WriteSim(&buf, nw); err != nil {
+			panic(err)
+		}
+		parsed, err := netlist.ReadSimParallel("chip-xl", p, bytes.NewReader(buf.Bytes()), 0)
+		if err != nil {
+			panic(err)
+		}
+		ingestXLHash = sha256.Sum256(buf.Bytes())
+		ingestXLTrans = len(parsed.Trans)
+		ingestXLNodes = len(parsed.Nodes)
+		dir, err := os.MkdirTemp("", "ingestxl")
+		if err != nil {
+			panic(err)
+		}
+		ingestXLV1 = filepath.Join(dir, "xl.v1.simx")
+		ingestXLV2 = filepath.Join(dir, "xl.v2.simx")
+		f, err := os.Create(ingestXLV1)
+		if err != nil {
+			panic(err)
+		}
+		if err := netlist.WriteSnapshotV1(f, parsed, ingestXLHash); err != nil {
+			panic(err)
+		}
+		if err := f.Close(); err != nil {
+			panic(err)
+		}
+		if err := netlist.WriteSnapshotFile(ingestXLV2, parsed, ingestXLHash); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// BenchmarkIngestXL is the BENCH_7 load comparison on the 100k+ node
+// chip: the mmap + slice-cast v2 path against heap decodes of both
+// formats. Each iteration performs a complete cold load from disk —
+// open/read, validate (both CRCs), build the Network — and discards it;
+// scripts/bench.sh records mmap-vs-v1decode as the BENCH_7 speedup.
+func BenchmarkIngestXL(b *testing.B) {
+	ingestXLCorpus(b)
+	p := tech.NMOS4()
+	check := func(b *testing.B, nw *netlist.Network, hash [32]byte) {
+		if hash != ingestXLHash || len(nw.Trans) != ingestXLTrans || len(nw.Nodes) != ingestXLNodes {
+			b.Fatal("loaded wrong network")
+		}
+	}
+	// Every arm runs with the collector quiesced: automatic collection
+	// is disabled for the benchmark's duration and each iteration
+	// instead collects the previous iteration's dead graph explicitly,
+	// outside the timer. Each load allocates a ~30 MB network graph
+	// from a near-empty live heap, so under the default pacing every
+	// iteration spends more time marking and write-barriering the
+	// half-built graph than loading it — noise that scales with the
+	// pacer's mood, not with either loader. The same discipline applies
+	// to every arm, so the ratio is load-vs-load.
+	oldGC := debug.SetGCPercent(-1)
+	defer debug.SetGCPercent(oldGC)
+	// Two back-to-back cycles: the first marks and frees the dead graph,
+	// the second's sweep-termination phase finishes sweeping it, so no
+	// sweep debt is paid by the next load's allocations inside the timer.
+	quiesce := func(b *testing.B) {
+		b.StopTimer()
+		runtime.GC()
+		runtime.GC()
+		b.StartTimer()
+	}
+	b.Run("mmap", func(b *testing.B) {
+		if !netlist.MmapSupported {
+			b.Skip("no mmap on this platform")
+		}
+		for i := 0; i < b.N; i++ {
+			quiesce(b)
+			m, err := netlist.OpenMapped(ingestXLV2, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			check(b, m.Net, m.SourceHash)
+			// Nothing from the view escapes the iteration, so unmapping
+			// is safe here (unlike in the CLIs, which keep the mapping
+			// for the process lifetime).
+			if err := m.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(ingestXLNodes), "ns/node")
+	})
+	for _, arm := range []struct{ name, path string }{
+		{"v1decode", ingestXLV1},
+		{"v2decode", ingestXLV2},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				quiesce(b)
+				data, err := os.ReadFile(arm.path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				nw, hash, err := netlist.ReadSnapshot(bytes.NewReader(data), p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				check(b, nw, hash)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(ingestXLNodes), "ns/node")
+		})
+	}
 }
 
 // --- Microbenchmarks of the analysis hot paths ------------------------------

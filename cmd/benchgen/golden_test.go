@@ -2,6 +2,7 @@ package main
 
 import (
 	"flag"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -56,6 +57,25 @@ func TestGoldenOutput(t *testing.T) {
 	}
 }
 
+// TestGoldenE6XLStats pins the E6-XL scale point's stats line — the
+// 100k+ node chip grid BENCH_7 ingests. Only the summary is pinned
+// (the multi-MB .sim body is discarded): the contract is the family's
+// shape, not its bytes, which the smaller goldens already cover.
+func TestGoldenE6XLStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second generate in -short mode")
+	}
+	var diag strings.Builder
+	cfg := config{circuit: "chip:32,10", techName: "nmos-4u"}
+	if err := run(cfg, io.Discard, &diag); err != nil {
+		t.Fatal(err)
+	}
+	const want = "benchgen: chip-32x10 — 181730 transistors, 109670 nodes, 698 inputs, 1010 outputs\n"
+	if diag.String() != want {
+		t.Errorf("E6-XL stats line:\n got %q\nwant %q", diag.String(), want)
+	}
+}
+
 // TestSnapshotEmission pins the warm-handoff contract: the .simx written
 // by `benchgen -snapshot` must be served as a fresh cache hit when
 // crystal-style ingest loads the sibling .sim file.
@@ -74,19 +94,19 @@ func TestSnapshotEmission(t *testing.T) {
 	}
 
 	p := tech.NMOS4()
-	parsed, fromSnap, err := netlist.LoadSimFile(simPath, simPath, p, netlist.LoadOptions{})
+	parsed, res, err := netlist.LoadSimFile(simPath, simPath, p, netlist.LoadOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if fromSnap {
+	if res.FromCache() {
 		t.Fatal("uncached load claimed a snapshot hit")
 	}
-	warm, fromSnap, err := netlist.LoadSimFile(simPath, simPath, p,
+	warm, res, err := netlist.LoadSimFile(simPath, simPath, p,
 		netlist.LoadOptions{Snapshot: snapPath})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !fromSnap {
+	if !res.FromCache() {
 		t.Fatal("benchgen-emitted snapshot was not served for the sibling .sim")
 	}
 	if derr := netlist.DiffNetworks(parsed, warm); derr != nil {

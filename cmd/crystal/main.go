@@ -161,10 +161,15 @@ func run(cfg config, w io.Writer) (int, error) {
 		return 0, fmt.Errorf("unknown technology %q", cfg.techName)
 	}
 
-	nw, _, err := netlist.LoadSimFile(cfg.simFile, cfg.simFile, p,
+	nw, res, err := netlist.LoadSimFile(cfg.simFile, cfg.simFile, p,
 		netlist.LoadOptions{Workers: cfg.workers, Snapshot: cfg.snapshot})
 	if err != nil {
 		return 0, err
+	}
+	if cfg.snapshot != "" {
+		// A mapped view stays mapped for the life of the process (node
+		// names alias the mapping); stderr so report goldens are unaffected.
+		fmt.Fprintf(os.Stderr, "crystal: netlist source: %s\n", res.Source)
 	}
 
 	if cfg.runERC {

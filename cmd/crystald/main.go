@@ -9,12 +9,18 @@
 //
 //	crystald [-addr :8653] [-max-sessions 16] [-workers 0]
 //	         [-reorder on] [-drain-timeout 30s] [-snapshot-dir DIR]
+//	         [-netarena on]
 //
 // With -snapshot-dir, every parsed session is persisted as a binary
-// .simx snapshot keyed by its content hash, and a POST of identical
-// content — including after a daemon restart — loads the snapshot
-// instead of re-parsing the .sim text (see docs/PERFORMANCE.md,
-// "Ingest").
+// .simx snapshot keyed by its network identity (source hash + tech +
+// report name), and a POST over identical content — including after a
+// daemon restart — loads the snapshot instead of re-parsing the .sim
+// text. Where the platform supports mmap, warm loads additionally go
+// through the shared network arena: every session of the same chip
+// aliases one read-only mapped view, with copy-on-edit detach onto a
+// private heap copy at the first edit barrier (see docs/PERFORMANCE.md
+// "Ingest" and docs/SERVER.md on RSS accounting). -netarena off keeps
+// the snapshot cache but gives every session its own heap copy.
 //
 // The API is documented in docs/SERVER.md. On SIGTERM/SIGINT the daemon
 // drains gracefully: the listener closes immediately, in-flight requests
@@ -46,9 +52,14 @@ func main() {
 	reorder := flag.String("reorder", "on", "cache-conscious node reordering of compiled networks: on or off (results are bit-identical either way)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown grace period")
 	snapshotDir := flag.String("snapshot-dir", "", "persist .simx session snapshots here for warm starts (empty = disabled)")
+	netarena := flag.String("netarena", "on", "share one read-only mapped network view across sessions of the same chip: on or off (off = a private heap copy per session)")
 	flag.Parse()
 	if *reorder != "on" && *reorder != "off" {
 		fmt.Fprintf(os.Stderr, "crystald: -reorder: want on or off, got %q\n", *reorder)
+		os.Exit(1)
+	}
+	if *netarena != "on" && *netarena != "off" {
+		fmt.Fprintf(os.Stderr, "crystald: -netarena: want on or off, got %q\n", *netarena)
 		os.Exit(1)
 	}
 
@@ -57,6 +68,7 @@ func main() {
 		DefaultWorkers: *workers,
 		NoReorder:      *reorder == "off",
 		SnapshotDir:    *snapshotDir,
+		NoSharedViews:  *netarena == "off",
 	})
 	// The service metrics through the stock expvar protocol, next to the
 	// runtime's memstats/cmdline vars.

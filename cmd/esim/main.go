@@ -67,10 +67,14 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown technology %q", *techName))
 	}
-	nw, _, err := netlist.LoadSimFile(*simFile, *simFile, p,
+	nw, res, err := netlist.LoadSimFile(*simFile, *simFile, p,
 		netlist.LoadOptions{Workers: *workers, Snapshot: *snapshot})
 	if err != nil {
 		fatal(err)
+	}
+	if *snapshot != "" {
+		// A mapped view stays mapped for the life of the process.
+		fmt.Fprintf(os.Stderr, "esim: netlist source: %s\n", res.Source)
 	}
 
 	if *vectors != "" {

@@ -55,6 +55,14 @@ func loadBlockNet(name string, p *tech.Params, build func() (*netlist.Network, e
 	}
 	key := blockSnapshotKey(name, p)
 	path := filepath.Join(SnapshotDir, name+"-"+p.Name+".simx")
+	// Prefer the zero-copy mapped view; the mapping lives for the process
+	// (delaycmp is a one-shot CLI, node names alias the mapped pages).
+	if m, merr := netlist.OpenMapped(path, p); merr == nil {
+		if m.SourceHash == key {
+			return m.Net, nil
+		}
+		m.Close() // stale: the network never escaped
+	}
 	if f, err := os.Open(path); err == nil {
 		nw, gotKey, rerr := netlist.ReadSnapshot(f, p)
 		f.Close()

@@ -130,6 +130,61 @@ func Chip(p *tech.Params, w int) (*netlist.Network, error) {
 	return top, nil
 }
 
+// ChipGrid tiles the chip composition: tiles copies of Chip(w) sharing
+// one opcode bus, each tile's data ports prefixed "t<i>_". One tile is
+// exactly Chip(w); at w=32 each tile adds ~18k transistors and ~11k
+// nodes, so chip:32,10 clears 100k nodes (~182k transistors) — the
+// E6-XL scale point BENCH_7 ingests. The grid is deliberately a replication, not a new
+// microarchitecture: it scales node and transistor counts (what ingest
+// and drain costs track) while every tile keeps the analyzed chip's
+// timing structure.
+func ChipGrid(p *tech.Params, w, tiles int) (*netlist.Network, error) {
+	if tiles < 1 || tiles > 64 {
+		return nil, fmt.Errorf("gen: chip tiles must be in 1..64, got %d", tiles)
+	}
+	if tiles == 1 {
+		return Chip(p, w)
+	}
+	tile, err := Chip(p, w)
+	if err != nil {
+		return nil, err
+	}
+	top := netlist.New(fmt.Sprintf("chip-%dx%d", w, tiles), p)
+	conn := map[string]string{}
+	for i := 0; i < 8; i++ {
+		conn[fmt.Sprintf("op%d", i)] = fmt.Sprintf("op%d", i)
+	}
+	for t := 0; t < tiles; t++ {
+		if err := top.Import(tile, fmt.Sprintf("t%d_", t), conn); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < 8; i++ {
+		top.Node(fmt.Sprintf("op%d", i)).Kind = netlist.KindInput
+	}
+	return top, nil
+}
+
+// ChipGridDirectives is ChipDirectives for a grid: the per-tile fixed
+// nodes and loop-breaks under their tile prefixes.
+func ChipGridDirectives(w, tiles int) (fixed map[string]string, loopBreak []string) {
+	if tiles == 1 {
+		return ChipDirectives(w)
+	}
+	f, lb := ChipDirectives(w)
+	fixed = make(map[string]string, tiles*len(f))
+	for t := 0; t < tiles; t++ {
+		prefix := fmt.Sprintf("t%d_", t)
+		for name, v := range f {
+			fixed[prefix+name] = v
+		}
+		for _, n := range lb {
+			loopBreak = append(loopBreak, prefix+n)
+		}
+	}
+	return fixed, loopBreak
+}
+
 // ChipDirectives returns the analysis directives a chip needs (the same
 // role as a Crystal command file): fixed upper address bits and
 // loop-breaks on the register cells.

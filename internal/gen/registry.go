@@ -65,8 +65,14 @@ var registry = []builder{
 			}
 			return PolyWire(p, a[0], r, c*1e-15)
 		}},
-	{Spec{"chip", "w", "processor-scale composition: datapath + multiplier + address unit + control PLA"}, 1,
-		func(p *tech.Params, a []int) (*netlist.Network, error) { return Chip(p, a[0]) }},
+	{Spec{"chip", "w[,tiles]", "processor-scale composition: datapath + multiplier + address unit + control PLA; tiles replicates it on a shared opcode bus (chip:32,10 is the 100k+ node E6-XL point)"}, 1,
+		func(p *tech.Params, a []int) (*netlist.Network, error) {
+			tiles := 1
+			if len(a) > 1 {
+				tiles = a[1]
+			}
+			return ChipGrid(p, a[0], tiles)
+		}},
 	{Spec{"datapath", "w", "composed chip: decoder + register file + ALU + shifter"}, 1,
 		func(p *tech.Params, a []int) (*netlist.Network, error) { return Datapath(p, a[0]) }},
 	{Spec{"shiftreg", "n", "two-phase dynamic shift register"}, 1,

@@ -33,42 +33,75 @@ type LoadOptions struct {
 	// load from when fresh and rewrite after a parse. Empty disables
 	// caching.
 	Snapshot string
+	// NoMmap disables the memory-mapped snapshot fast path; fresh v2
+	// snapshots are then heap-decoded like v1 ones. Used by benchmarks
+	// and fallback tests; production callers leave it false.
+	NoMmap bool
 }
+
+// Load sources, in decreasing order of preference.
+const (
+	// SourceMmap: a fresh v2 snapshot served as a zero-copy mapped view.
+	SourceMmap = "mmap"
+	// SourceSnapshot: a fresh snapshot heap-decoded (v1 file, NoMmap,
+	// or a platform without mmap).
+	SourceSnapshot = "snapshot"
+	// SourceParse: no usable snapshot; the .sim text was parsed.
+	SourceParse = "parse"
+)
+
+// LoadResult describes how LoadSimFile obtained the network.
+type LoadResult struct {
+	// Source is SourceMmap, SourceSnapshot or SourceParse.
+	Source string
+	// Mapped is the live mapping when Source is SourceMmap, else nil.
+	// The caller owns its lifetime; see Mapped.Close for the rules.
+	// Callers that cannot bound the network's lifetime keep it open for
+	// the life of the process.
+	Mapped *Mapped
+}
+
+// FromCache reports whether the parse was skipped (either cached path).
+func (r LoadResult) FromCache() bool { return r.Source != SourceParse }
 
 // LoadSimFile reads the .sim netlist at path into a checked Network
 // named name, via the snapshot cache when one is configured and fresh.
-// fromSnapshot reports whether the parse was skipped. The parse path
-// runs Network.Check before the snapshot is written, so a snapshot hit
-// skips both the parse and the structural check — a .simx file never
-// holds a network that did not pass. A snapshot that fails to load for
-// any reason is treated as a miss, and a snapshot write failure is
-// returned as an error only after the network itself loaded — callers
-// that only care about the network may ignore it, but silently losing
-// the cache forever is worse than saying so.
-func LoadSimFile(name, path string, p *tech.Params, opt LoadOptions) (nw *Network, fromSnapshot bool, err error) {
+// A fresh v2 snapshot is served as a zero-copy memory-mapped view
+// (res.Source == SourceMmap) where the platform supports it; v1 files
+// and mmap failures fall back to the heap decoder, and any snapshot
+// failure at all falls back to a parse. The parse path runs
+// Network.Check before the snapshot is written, so a snapshot hit skips
+// both the parse and the structural check — a .simx file never holds a
+// network that did not pass. A snapshot that fails to load for any
+// reason is treated as a miss, and a snapshot write failure is returned
+// as an error only after the network itself loaded — callers that only
+// care about the network may ignore it, but silently losing the cache
+// forever is worse than saying so.
+func LoadSimFile(name, path string, p *tech.Params, opt LoadOptions) (nw *Network, res LoadResult, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, false, err
+		return nil, res, err
 	}
 	hash := sha256.Sum256(data)
 	if opt.Snapshot != "" {
-		if snap, ok := loadFreshSnapshot(opt.Snapshot, name, p, hash); ok {
-			return snap, true, nil
+		if snap, res, ok := loadFreshSnapshot(opt.Snapshot, name, p, hash, opt.NoMmap); ok {
+			return snap, res, nil
 		}
 	}
+	res = LoadResult{Source: SourceParse}
 	nw, err = ReadSimParallel(name, p, bytes.NewReader(data), opt.Workers)
 	if err != nil {
-		return nil, false, err
+		return nil, res, err
 	}
 	if err := nw.Check(); err != nil {
-		return nil, false, err
+		return nil, res, err
 	}
 	if opt.Snapshot != "" {
 		if werr := WriteSnapshotFile(opt.Snapshot, nw, hash); werr != nil {
-			return nw, false, fmt.Errorf("writing snapshot: %w", werr)
+			return nw, res, fmt.Errorf("writing snapshot: %w", werr)
 		}
 	}
-	return nw, false, nil
+	return nw, res, nil
 }
 
 // loadFreshSnapshot loads path and reports whether it matches the
@@ -78,18 +111,29 @@ func LoadSimFile(name, path string, p *tech.Params, opt LoadOptions) (nw *Networ
 // a hit is relabeled to the requested name; this lets a snapshot
 // emitted by `benchgen -snapshot` serve `crystal -sim f.sim`, whose
 // name (the file path) benchgen cannot know.
-func loadFreshSnapshot(path, name string, p *tech.Params, hash [32]byte) (*Network, bool) {
+func loadFreshSnapshot(path, name string, p *tech.Params, hash [32]byte, noMmap bool) (*Network, LoadResult, bool) {
+	if mmapSupported && !noMmap {
+		if m, err := OpenMapped(path, p); err == nil {
+			if m.SourceHash == hash {
+				m.Net.Name = name
+				return m.Net, LoadResult{Source: SourceMmap, Mapped: m}, true
+			}
+			m.Close() // stale: the network never escaped, unmapping is safe
+		}
+		// Any mapped-path failure (v1 file, platform quirk) falls through
+		// to the heap decoder, which accepts both versions.
+	}
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, false
+		return nil, LoadResult{}, false
 	}
 	defer f.Close()
 	nw, gotHash, err := ReadSnapshot(f, p)
 	if err != nil || gotHash != hash {
-		return nil, false
+		return nil, LoadResult{}, false
 	}
 	nw.Name = name
-	return nw, true
+	return nw, LoadResult{Source: SourceSnapshot}, true
 }
 
 // WriteSnapshotFile writes nw as a .simx snapshot at path, atomically:

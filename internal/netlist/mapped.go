@@ -1,0 +1,117 @@
+// Memory-mapped snapshot loading: the zero-copy half of the v2 format.
+// OpenMapped maps a .simx v2 file read-only, validates it (header and
+// payload CRCs, bounds-checked section table), and builds a Network
+// whose node names are string views straight into the mapping — no file
+// read, no payload copy, no per-record decode, and no eager name-index
+// build (see Network.ensureByName). The mapping is shared (MAP_SHARED,
+// PROT_READ), so every mapping of the same file — across sessions or
+// across processes — aliases one set of physical page-cache pages: the
+// RSS cost of the name payload is paid once per machine, not per load.
+//
+// Lifetime: node-name string headers point into the mapped pages and
+// escape freely into clones, reports and analysis results, so the
+// mapping must outlive every structure that may still hold such a
+// string. Close is therefore explicitly the caller's assertion that
+// nothing derived from the network is alive; callers that cannot prove
+// that (CLIs, the server's shared arena) simply never unmap — read-only
+// file-backed pages are reclaimable by the OS under pressure, so a
+// retained mapping costs address space, not wired memory.
+package netlist
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/tech"
+)
+
+// MmapSupported reports whether this platform has the memory-mapped
+// fast path; when false OpenMapped always errors and every caller's
+// heap fallback serves instead.
+const MmapSupported = mmapSupported
+
+// Mapped is a Network backed by a read-only memory mapping of a .simx
+// v2 file.
+type Mapped struct {
+	// Net is the materialized network. Its node Name strings alias the
+	// mapping; see the package comment on lifetime.
+	Net *Network
+	// SourceHash is the cache key recorded at write time.
+	SourceHash [32]byte
+
+	data      []byte
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Size returns the mapped length in bytes — the address-space cost of
+// keeping the view alive, useful for RSS accounting.
+func (m *Mapped) Size() int { return len(m.data) }
+
+// Close unmaps the file. The caller asserts that no string derived from
+// the network (names, cloned networks, formatted reports) is reachable;
+// violating that turns later reads into faults. Closing twice is safe.
+func (m *Mapped) Close() error {
+	m.closeOnce.Do(func() {
+		if m.data != nil {
+			m.closeErr = munmapFile(m.data)
+			m.data = nil
+		}
+	})
+	return m.closeErr
+}
+
+// OpenMapped maps the .simx v2 file at path and builds its zero-copy
+// Network view. Any failure — unsupported platform, v1 file, corrupt or
+// truncated image — is an error; callers fall back to ReadSnapshot,
+// which handles both versions on the heap.
+func OpenMapped(path string, p *tech.Params) (*Mapped, error) {
+	if !mmapSupported {
+		return nil, fmt.Errorf("simx: mmap not supported on this platform")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() // the mapping survives the descriptor
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if !st.Mode().IsRegular() || size < v2HeaderSize || size > int64(int(^uint(0)>>1)) {
+		return nil, fmt.Errorf("simx: not a mappable snapshot file")
+	}
+	data, err := mmapFile(f, int(size))
+	if err != nil {
+		return nil, fmt.Errorf("simx: mmap: %w", err)
+	}
+	m := &Mapped{data: data}
+	v, err := parseV2(data)
+	if err != nil {
+		m.Close()
+		return nil, err
+	}
+	// Payload checksum and network build overlap: the checksum walks
+	// every payload byte once, the build is bounds-checked against the
+	// (header-CRC-protected) section table and never trusts payload
+	// contents for safety, so neither needs the other to finish first.
+	// Both must complete before any Close — unmapping under a live pass
+	// would fault — and the checksum verdict wins, so a corrupt file
+	// reports "payload checksum mismatch" whether or not the build also
+	// tripped over the damage.
+	crcErr := make(chan error, 1)
+	go func() { crcErr <- v.verifyPayload() }()
+	nw, hash, buildErr := buildV2(v, p, true)
+	if err := <-crcErr; err != nil {
+		m.Close()
+		return nil, err
+	}
+	if buildErr != nil {
+		m.Close()
+		return nil, buildErr
+	}
+	m.Net, m.SourceHash = nw, hash
+	return m, nil
+}

@@ -1,0 +1,7 @@
+//go:build darwin
+
+package netlist
+
+// mmapExtraFlags: darwin has no MAP_POPULATE; first-touch faults serve
+// instead.
+const mmapExtraFlags = 0

@@ -1,0 +1,16 @@
+//go:build !linux && !darwin
+
+package netlist
+
+import (
+	"errors"
+	"os"
+)
+
+const mmapSupported = false
+
+var errNoMmap = errors.New("simx: mmap not supported on this platform")
+
+func mmapFile(f *os.File, size int) ([]byte, error) { return nil, errNoMmap }
+
+func munmapFile(b []byte) error { return nil }

@@ -11,6 +11,7 @@ package netlist
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/tech"
 )
@@ -201,9 +202,31 @@ type Network struct {
 	Nodes []*Node
 	Trans []*Trans
 
-	byName map[string]*Node
-	vdd    *Node
-	gnd    *Node
+	// byName is the name index. Construction paths build it eagerly; the
+	// memory-mapped .simx loader leaves it nil and nameOnce materializes
+	// it on the first Lookup/Node call — analysis touches nodes by index
+	// only, so a mapped load never pays the map build (and concurrent
+	// sessions aliasing one read-only view race-safely share the build).
+	byName   map[string]*Node
+	nameOnce sync.Once
+	vdd      *Node
+	gnd      *Node
+}
+
+// ensureByName materializes the lazy name index. Safe for concurrent use
+// on an otherwise immutable network (the Once fast path is one atomic
+// load); a no-op when the index was built eagerly at construction.
+func (nw *Network) ensureByName() {
+	nw.nameOnce.Do(func() {
+		if nw.byName != nil {
+			return
+		}
+		m := make(map[string]*Node, len(nw.Nodes))
+		for _, n := range nw.Nodes {
+			m[n.Name] = n
+		}
+		nw.byName = m
+	})
 }
 
 // New creates an empty network in the given technology. The rails "Vdd"
@@ -240,6 +263,7 @@ func (nw *Network) Node(name string) *Node {
 	case "Gnd", "gnd", "VSS", "Vss", "vss":
 		name = "GND"
 	}
+	nw.ensureByName()
 	if n, ok := nw.byName[name]; ok {
 		return n
 	}
@@ -252,6 +276,7 @@ func (nw *Network) Node(name string) *Node {
 // Lookup returns the node with the given name, or nil if absent. Unlike
 // Node it never creates.
 func (nw *Network) Lookup(name string) *Node {
+	nw.ensureByName()
 	return nw.byName[name]
 }
 

@@ -1,0 +1,826 @@
+// The .simx version-2 layout: the memory-mappable half of the ingest
+// pipeline. Version 1 (snapshot.go) is a compact uvarint stream — cheap
+// to write, but every load must run a per-record decode and the format
+// cannot be mapped (nothing is aligned, nothing is fixed-width). Version
+// 2 trades ~25% file size for a fixed layout of 8-byte-aligned
+// little-endian sections, so a load is mmap + header/CRC validation +
+// slice-casting views over the file: no per-record decode, no payload
+// copy, node names sliced straight out of the mapping.
+//
+// Layout (all integers little-endian; CRCs are CRC-32C/Castagnoli, which
+// is hardware-accelerated on amd64/arm64 — validating a 30 MB chip costs
+// about a millisecond):
+//
+//	header (72 bytes):
+//	  [0:4]    magic "SIMX"
+//	  [4:8]    version   uint32 = 2
+//	  [8:12]   headerCRC uint32 — CRC-32C of bytes [12:payloadStart]
+//	  [12:16]  sectionCount uint32
+//	  [16:24]  fileSize  uint64 — total file length; trailing bytes reject
+//	  [24:56]  sourceHash [32]byte — SHA-256 of the originating .sim text
+//	  [56:60]  payloadCRC uint32 — CRC-32C of bytes [payloadStart:fileSize]
+//	  [60:64]  nNodes    uint32
+//	  [64:68]  nTrans    uint32
+//	  [68:72]  reserved  uint32 = 0
+//	section table (sectionCount × 24 bytes at offset 72):
+//	  id uint32, reserved uint32 = 0, off uint64, len uint64
+//	sections (each off ≥ payloadStart, off %8 == 0, zero padding between):
+//	  1 tech       technology name bytes
+//	  2 name       network name bytes
+//	  3 nodeKind   nNodes × uint8
+//	  4 nodeFlags  nNodes × uint8 (bit 0: precharged)
+//	  5 nodeCap    nNodes × float64
+//	  6 trans      nTrans × 40-byte record {W,L,R float64; Gate,A,B int32;
+//	               Type,Flow uint8; pad [2]byte}
+//	  7 gateStart  (nNodes+1) × uint32 — CSR offsets of Node.Gates
+//	  8 termStart  (nNodes+1) × uint32 — CSR offsets of Node.Terms
+//	  9 nameOff    (nNodes+1) × uint32 — offsets into nameData
+//	 10 nameData   concatenated node names
+//
+// The adjacency reference lists themselves are not stored: replaying
+// transistors in index order reproduces AddTrans's insertion order
+// exactly, and the stored CSR offsets are re-derived from the records at
+// load and must match — a redundancy check on top of the CRC, since a
+// wrong offset table would silently mis-slice the shared backing array.
+//
+// Every byte of a v2 file is covered by a check: [0:12] by the explicit
+// magic/version/headerCRC comparisons, [12:payloadStart] by headerCRC,
+// [payloadStart:fileSize] (including alignment padding, which writers
+// zero) by payloadCRC, and anything beyond fileSize by the exact-length
+// requirement.
+package netlist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"runtime"
+	"sync"
+	"unsafe"
+
+	"repro/internal/tech"
+)
+
+// SnapshotVersion2 is the fixed-layout, memory-mappable .simx version.
+// WriteSnapshot emits it by default; ReadSnapshot accepts both versions.
+const SnapshotVersion2 = 2
+
+const (
+	v2HeaderSize  = 72
+	v2SectionSize = 24
+	v2MaxSections = 64
+
+	secTech      = 1
+	secName      = 2
+	secNodeKind  = 3
+	secNodeFlags = 4
+	secNodeCap   = 5
+	secTrans     = 6
+	secGateStart = 7
+	secTermStart = 8
+	secNameOff   = 9
+	secNameData  = 10
+)
+
+// transRec is the fixed-width on-disk transistor record. The field order
+// packs the three float64 columns first so the struct is 8-aligned with
+// exactly two trailing pad bytes; the compile-time assertion below pins
+// the 40-byte size the format depends on.
+type transRec struct {
+	W, L, R    float64
+	Gate, A, B int32
+	Type, Flow uint8
+	_          [2]byte
+}
+
+const transRecSize = 40
+
+var _ [transRecSize]byte = [unsafe.Sizeof(transRec{})]byte{}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// hostLittleEndian reports whether the native byte order matches the
+// on-disk order, which is what makes the zero-copy slice casts legal.
+var hostLittleEndian = func() bool {
+	x := uint16(0x0102)
+	return *(*byte)(unsafe.Pointer(&x)) == 0x02
+}()
+
+// v2Section is one parsed section-table entry resolved to its bytes.
+type v2Section struct {
+	id  uint32
+	buf []byte
+}
+
+// v2File is a validated view over a v2 snapshot's bytes: header fields
+// plus the located sections. The byte slices alias the input data.
+type v2File struct {
+	sourceHash     [32]byte
+	nNodes, nTrans int
+
+	techName, name       []byte
+	nodeKind, nodeFlags  []byte
+	nodeCap              []byte // nNodes × float64
+	trans                []byte // nTrans × transRec
+	gateStart, termStart []byte // (nNodes+1) × uint32
+	nameOff              []byte // (nNodes+1) × uint32
+	nameData             []byte
+
+	payload    []byte // everything past the section table; see verifyPayload
+	payloadCRC uint32 // stored checksum the payload must match
+}
+
+// parseV2 validates a v2 snapshot image structurally — magic, version,
+// header CRC, bounds-checked section table, exact section sizes — and
+// returns the section views. It never allocates proportionally to the
+// input, so it is equally the entry point for the heap decoder and the
+// mmap loader. The payload checksum is NOT verified here: callers must
+// also run verifyPayload, either before buildV2 (the heap decoder) or
+// concurrently with it (the mmap loader) — see that method for why the
+// overlap is sound.
+func parseV2(data []byte) (*v2File, error) {
+	if len(data) < v2HeaderSize || string(data[:4]) != snapshotMagic {
+		return nil, fmt.Errorf("simx: bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != SnapshotVersion2 {
+		return nil, fmt.Errorf("simx: version %d, want %d", v, SnapshotVersion2)
+	}
+	count := binary.LittleEndian.Uint32(data[12:16])
+	if count == 0 || count > v2MaxSections {
+		return nil, fmt.Errorf("simx: implausible section count %d", count)
+	}
+	payloadStart := v2HeaderSize + int(count)*v2SectionSize
+	if len(data) < payloadStart {
+		return nil, fmt.Errorf("simx: truncated section table")
+	}
+	fileSize := binary.LittleEndian.Uint64(data[16:24])
+	if fileSize != uint64(len(data)) {
+		return nil, fmt.Errorf("simx: file is %d bytes, header says %d", len(data), fileSize)
+	}
+	if got, want := crc32.Checksum(data[12:payloadStart], castagnoli), binary.LittleEndian.Uint32(data[8:12]); got != want {
+		return nil, fmt.Errorf("simx: header checksum mismatch")
+	}
+	if binary.LittleEndian.Uint32(data[68:72]) != 0 {
+		return nil, fmt.Errorf("simx: nonzero reserved header field")
+	}
+
+	v := &v2File{
+		nNodes:     int(binary.LittleEndian.Uint32(data[60:64])),
+		nTrans:     int(binary.LittleEndian.Uint32(data[64:68])),
+		payload:    data[payloadStart:],
+		payloadCRC: binary.LittleEndian.Uint32(data[56:60]),
+	}
+	copy(v.sourceHash[:], data[24:56])
+	if uint64(v.nNodes) > maxSnapshotCount || uint64(v.nTrans) > maxSnapshotCount {
+		return nil, fmt.Errorf("simx: implausible counts %d/%d", v.nNodes, v.nTrans)
+	}
+	secs := make(map[uint32][]byte, count)
+	for i := 0; i < int(count); i++ {
+		ent := data[v2HeaderSize+i*v2SectionSize:][:v2SectionSize]
+		id := binary.LittleEndian.Uint32(ent[0:4])
+		if binary.LittleEndian.Uint32(ent[4:8]) != 0 {
+			return nil, fmt.Errorf("simx: section %d has nonzero reserved field", id)
+		}
+		off := binary.LittleEndian.Uint64(ent[8:16])
+		length := binary.LittleEndian.Uint64(ent[16:24])
+		if off%8 != 0 {
+			return nil, fmt.Errorf("simx: section %d misaligned at offset %d", id, off)
+		}
+		if off < uint64(payloadStart) || off > fileSize || length > fileSize-off {
+			return nil, fmt.Errorf("simx: section %d out of bounds (off %d len %d)", id, off, length)
+		}
+		if _, dup := secs[id]; dup {
+			return nil, fmt.Errorf("simx: duplicate section %d", id)
+		}
+		secs[id] = data[off : off+length]
+	}
+	want := func(id uint32, size int, what string) ([]byte, error) {
+		b, ok := secs[id]
+		if !ok {
+			return nil, fmt.Errorf("simx: missing %s section", what)
+		}
+		if size >= 0 && len(b) != size {
+			return nil, fmt.Errorf("simx: %s section is %d bytes, want %d", what, len(b), size)
+		}
+		return b, nil
+	}
+	n, t := v.nNodes, v.nTrans
+	var err error
+	if v.techName, err = want(secTech, -1, "tech"); err != nil {
+		return nil, err
+	}
+	if v.name, err = want(secName, -1, "name"); err != nil {
+		return nil, err
+	}
+	if v.nodeKind, err = want(secNodeKind, n, "node-kind"); err != nil {
+		return nil, err
+	}
+	if v.nodeFlags, err = want(secNodeFlags, n, "node-flags"); err != nil {
+		return nil, err
+	}
+	if v.nodeCap, err = want(secNodeCap, 8*n, "node-cap"); err != nil {
+		return nil, err
+	}
+	if v.trans, err = want(secTrans, transRecSize*t, "transistor"); err != nil {
+		return nil, err
+	}
+	if v.gateStart, err = want(secGateStart, 4*(n+1), "gate-start"); err != nil {
+		return nil, err
+	}
+	if v.termStart, err = want(secTermStart, 4*(n+1), "term-start"); err != nil {
+		return nil, err
+	}
+	if v.nameOff, err = want(secNameOff, 4*(n+1), "name-offset"); err != nil {
+		return nil, err
+	}
+	if v.nameData, err = want(secNameData, -1, "name-data"); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// verifyPayload checks the payload checksum — the one validation pass
+// that touches every byte, and so the dominant cost of opening a large
+// file. It is split out of parseV2 so the mmap loader can run it on its
+// own goroutine while buildV2 materializes the network: the overlap is
+// sound because buildV2 bounds-checks every index it consumes and never
+// trusts payload contents for memory safety, so the worst a corrupt
+// payload can do before the checksum verdict lands is produce a network
+// that is then discarded. Callers that race the two must report this
+// error in preference to the build's.
+func (v *v2File) verifyPayload() error {
+	if crc32.Checksum(v.payload, castagnoli) != v.payloadCRC {
+		return fmt.Errorf("simx: payload checksum mismatch")
+	}
+	return nil
+}
+
+// aligned8 reports whether the slice base is 8-byte aligned (always true
+// for mmap pages; true in practice for heap buffers, but checked so the
+// cast view is never undefined behaviour).
+func aligned8(b []byte) bool {
+	return len(b) == 0 || uintptr(unsafe.Pointer(&b[0]))%8 == 0
+}
+
+// f64View returns the section as a []float64 — a zero-copy cast when the
+// host is little-endian and the base is aligned, a decoded copy otherwise.
+func f64View(b []byte) []float64 {
+	if hostLittleEndian && aligned8(b) {
+		return unsafe.Slice((*float64)(unsafe.Pointer(unsafe.SliceData(b))), len(b)/8)
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// u32View returns the section as a []uint32, zero-copy when possible.
+func u32View(b []byte) []uint32 {
+	if hostLittleEndian && aligned8(b) {
+		return unsafe.Slice((*uint32)(unsafe.Pointer(unsafe.SliceData(b))), len(b)/4)
+	}
+	out := make([]uint32, len(b)/4)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(b[4*i:])
+	}
+	return out
+}
+
+// transRecs returns the record section as a []transRec — a zero-copy
+// cast view on little-endian hosts, a one-shot decoded copy elsewhere.
+func transRecs(b []byte) []transRec {
+	if hostLittleEndian && aligned8(b) {
+		return unsafe.Slice((*transRec)(unsafe.Pointer(unsafe.SliceData(b))), len(b)/transRecSize)
+	}
+	out := make([]transRec, len(b)/transRecSize)
+	for i := range out {
+		r := b[i*transRecSize:]
+		out[i] = transRec{
+			W:    math.Float64frombits(binary.LittleEndian.Uint64(r[0:8])),
+			L:    math.Float64frombits(binary.LittleEndian.Uint64(r[8:16])),
+			R:    math.Float64frombits(binary.LittleEndian.Uint64(r[16:24])),
+			Gate: int32(binary.LittleEndian.Uint32(r[24:28])),
+			A:    int32(binary.LittleEndian.Uint32(r[28:32])),
+			B:    int32(binary.LittleEndian.Uint32(r[32:36])),
+			Type: r[36], Flow: r[37],
+		}
+	}
+	return out
+}
+
+// buildV2 materializes a Network from a validated v2 view. With zeroCopy
+// set (the mmap loader), node names are unsafe string views over the
+// mapped name payload and the byName index is left to lazy construction —
+// the caller owns keeping the mapping alive for the network's lifetime.
+// Without it (the heap decoder), the name payload is copied once and the
+// index is built eagerly, matching the v1 decoder's behaviour.
+func buildV2(v *v2File, p *tech.Params, zeroCopy bool) (*Network, [32]byte, error) {
+	fail := func(format string, args ...any) (*Network, [32]byte, error) {
+		return nil, v.sourceHash, fmt.Errorf("simx: "+format, args...)
+	}
+	if got := string(v.techName); got != p.Name {
+		return fail("technology %q, want %q", got, p.Name)
+	}
+	nNodes, nTrans := v.nNodes, v.nTrans
+	nameOff := u32View(v.nameOff)
+	if nameOff[0] != 0 || nameOff[nNodes] != uint32(len(v.nameData)) {
+		return fail("name offset table does not span the name payload")
+	}
+	// Full monotonicity check before slicing any name: with the endpoints
+	// pinned above, non-decreasing offsets guarantee every name slice is
+	// in bounds — a corrupt table must produce an error, never a panic.
+	for i := 0; i < nNodes; i++ {
+		if nameOff[i] > nameOff[i+1] {
+			return fail("node %d has descending name offset", i)
+		}
+	}
+	nameAt := func(i int) string {
+		return unsafe.String(unsafe.SliceData(v.nameData[nameOff[i]:]), int(nameOff[i+1]-nameOff[i]))
+	}
+	if !zeroCopy {
+		// One copy of the name payload; every name is a substring of it.
+		str := string(v.nameData)
+		nameAt = func(i int) string { return str[nameOff[i]:nameOff[i+1]] }
+	}
+
+	// The stored CSR offset tables must be plausible before they steer
+	// any write: monotone non-decreasing with pinned endpoints (every
+	// transistor gates exactly one node; terminal refs are 1 or 2 per
+	// device). The per-record cursor checks below then prove the tables
+	// agree with the records exactly — a mis-written table the CRC alone
+	// cannot catch must produce an error, never an overrun.
+	recs := transRecs(v.trans)
+	gateStart, termStart := u32View(v.gateStart), u32View(v.termStart)
+	if gateStart[0] != 0 || int(gateStart[nNodes]) != nTrans ||
+		termStart[0] != 0 || int(termStart[nNodes]) < nTrans || int(termStart[nNodes]) > 2*nTrans {
+		return fail("adjacency offset table does not span the records")
+	}
+	for i := 0; i < nNodes; i++ {
+		if gateStart[i] > gateStart[i+1] || termStart[i] > termStart[i+1] {
+			return fail("adjacency offset table descends at node %d", i)
+		}
+	}
+	totalG, totalT := int(gateStart[nNodes]), int(termStart[nNodes])
+
+	nw := &Network{
+		Name:  string(v.name),
+		Tech:  p,
+		Nodes: make([]*Node, nNodes),
+		Trans: make([]*Trans, nTrans),
+	}
+	trans := make([]Trans, nTrans) // one allocation for all transistors
+	un := uint32(nNodes)
+
+	nodes := make([]Node, nNodes) // one allocation for all node structs
+	caps := f64View(v.nodeCap)
+
+	// Adjacency fills (both paths below) place each record at its node's
+	// cursor in record order — exactly the order an AddTrans replay
+	// would append — and prove the CSR tables honest: a cursor hitting
+	// the next node's start means the table under-counted, cursors
+	// short of it at the end mean it over-counted.
+	//
+	// With only one P (or a small network) the build is one fused scan:
+	// each record is read once, its Trans fields and all three adjacency
+	// placements done while it is hot, then a single node loop sets
+	// headers and rails.
+	if runtime.GOMAXPROCS(0) == 1 || nTrans < 1<<14 {
+		gatesBack := make([]*Trans, totalG)
+		termsBack := make([]*Trans, totalT)
+		gcur := make([]uint32, nNodes)
+		copy(gcur, gateStart[:nNodes])
+		tcur := make([]uint32, nNodes)
+		copy(tcur, termStart[:nNodes])
+		for j := range recs {
+			r := &recs[j]
+			if r.Type > uint8(tech.RWire) || r.Flow > uint8(FlowOff) {
+				return fail("transistor %d has type %d flow %d", j, r.Type, r.Flow)
+			}
+			g, ta, tb := uint32(r.Gate), uint32(r.A), uint32(r.B)
+			if g >= un || ta >= un || tb >= un {
+				return fail("transistor %d references node out of range", j)
+			}
+			t := &trans[j]
+			t.Index = j
+			t.Type = tech.Device(r.Type)
+			t.Flow = Flow(r.Flow)
+			t.Gate, t.A, t.B = &nodes[g], &nodes[ta], &nodes[tb]
+			t.W, t.L, t.ROverride = r.W, r.L, r.R
+			nw.Trans[j] = t
+			p := gcur[g]
+			if p == gateStart[g+1] {
+				return fail("adjacency offset table disagrees with records at node %d", g)
+			}
+			gatesBack[p] = t
+			gcur[g] = p + 1
+			p = tcur[ta]
+			if p == termStart[ta+1] {
+				return fail("adjacency offset table disagrees with records at node %d", ta)
+			}
+			termsBack[p] = t
+			tcur[ta] = p + 1
+			if tb != ta {
+				p = tcur[tb]
+				if p == termStart[tb+1] {
+					return fail("adjacency offset table disagrees with records at node %d", tb)
+				}
+				termsBack[p] = t
+				tcur[tb] = p + 1
+			}
+		}
+		for i := 0; i < nNodes; i++ {
+			if gcur[i] != gateStart[i+1] || tcur[i] != termStart[i+1] {
+				return fail("adjacency offset table disagrees with records at node %d", i)
+			}
+		}
+		for i := range nodes {
+			n := &nodes[i]
+			n.Index = i
+			kind := v.nodeKind[i]
+			if kind > uint8(KindOutput) {
+				return fail("node %d has kind %d", i, kind)
+			}
+			n.Name = nameAt(i)
+			n.Kind = NodeKind(kind)
+			n.Precharged = v.nodeFlags[i]&1 != 0
+			n.Cap = caps[i]
+			n.Gates = gatesBack[gateStart[i]:gateStart[i+1]]
+			n.Terms = termsBack[termStart[i]:termStart[i+1]]
+			nw.Nodes[i] = n
+			switch n.Kind {
+			case KindVdd:
+				if nw.vdd != nil {
+					return fail("duplicate Vdd rail")
+				}
+				nw.vdd = n
+			case KindGnd:
+				if nw.gnd != nil {
+					return fail("duplicate GND rail")
+				}
+				nw.gnd = n
+			}
+		}
+		if nw.vdd == nil || nw.gnd == nil {
+			return fail("missing supply rails")
+		}
+		if !zeroCopy {
+			nw.byName = make(map[string]*Node, nNodes)
+			for _, n := range nw.Nodes {
+				if _, dup := nw.byName[n.Name]; dup {
+					return fail("duplicate node name %q", n.Name)
+				}
+				nw.byName[n.Name] = n
+			}
+		}
+		return nw, v.sourceHash, nil
+	}
+
+	// The parallel build is overlapped passes over disjoint memory: the
+	// gate and terminal adjacency lists, the Trans struct fields
+	// (sharded), the node structs (sharded), each on its own goroutine.
+	// Each pass validates every index it consumes — the others may still
+	// be behind — and each sets only its own fields, so no two passes
+	// write the same word. Nothing may return before the barrier: the
+	// mmap caller unmaps on error, and a live pass must not read an
+	// unmapped record.
+	var wg sync.WaitGroup
+	var gateErr, termErr error
+	var gatesBack, termsBack []*Trans // gatesBack assigned by its pass; read after the barrier
+	wg.Add(1)
+	go func() { // gate adjacency (needs only trans addresses)
+		defer wg.Done()
+		back := make([]*Trans, totalG)
+		gcur := make([]uint32, nNodes)
+		copy(gcur, gateStart[:nNodes])
+		for j := range recs {
+			g := uint32(recs[j].Gate)
+			if g >= un {
+				gateErr = fmt.Errorf("transistor %d references node out of range", j)
+				return
+			}
+			p := gcur[g]
+			if p == gateStart[g+1] {
+				gateErr = fmt.Errorf("adjacency offset table disagrees with records at node %d", g)
+				return
+			}
+			back[p] = &trans[j]
+			gcur[g] = p + 1
+		}
+		for i := 0; i < nNodes; i++ {
+			if gcur[i] != gateStart[i+1] {
+				gateErr = fmt.Errorf("adjacency offset table disagrees with records at node %d", i)
+				return
+			}
+		}
+		gatesBack = back
+	}()
+
+	shards := runtime.GOMAXPROCS(0)
+	if shards > 4 {
+		shards = 4
+	}
+	fieldShardErrs := make([]error, shards)
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(lo, hi, s int) { // Trans fields and the nw.Trans pointer table
+			defer wg.Done()
+			for j := lo; j < hi; j++ {
+				r := &recs[j]
+				if uint32(r.Gate) >= un || uint32(r.A) >= un || uint32(r.B) >= un {
+					fieldShardErrs[s] = fmt.Errorf("transistor %d references node out of range", j)
+					return
+				}
+				t := &trans[j]
+				t.Index = j
+				t.Type = tech.Device(r.Type)
+				t.Flow = Flow(r.Flow)
+				t.Gate, t.A, t.B = &nodes[r.Gate], &nodes[r.A], &nodes[r.B]
+				t.W, t.L, t.ROverride = r.W, r.L, r.R
+				nw.Trans[j] = t
+			}
+		}(s*nTrans/shards, (s+1)*nTrans/shards, s)
+	}
+
+	// Node structs, sharded the same way; each shard reports its rails
+	// so duplicates are detected across the merge.
+	nodeShards := shards
+	if nNodes < 1<<14 {
+		nodeShards = 1
+	}
+	type railPair struct{ vdd, gnd []*Node }
+	rails := make([]railPair, nodeShards)
+	nodeShardErrs := make([]error, nodeShards)
+	nodeShard := func(lo, hi, s int) {
+		for i := lo; i < hi; i++ {
+			n := &nodes[i]
+			n.Index = i
+			kind := v.nodeKind[i]
+			if kind > uint8(KindOutput) {
+				nodeShardErrs[s] = fmt.Errorf("node %d has kind %d", i, kind)
+				return
+			}
+			n.Name = nameAt(i)
+			n.Kind = NodeKind(kind)
+			n.Precharged = v.nodeFlags[i]&1 != 0
+			n.Cap = caps[i]
+			nw.Nodes[i] = n
+			switch n.Kind {
+			case KindVdd:
+				rails[s].vdd = append(rails[s].vdd, n)
+			case KindGnd:
+				rails[s].gnd = append(rails[s].gnd, n)
+			}
+		}
+	}
+	for s := 1; s < nodeShards; s++ {
+		wg.Add(1)
+		go func(lo, hi, s int) {
+			defer wg.Done()
+			nodeShard(lo, hi, s)
+		}(s*nNodes/nodeShards, (s+1)*nNodes/nodeShards, s)
+	}
+	nodeShard(0, nNodes/nodeShards, 0)
+
+	// Terminal adjacency, split by node range: each shard scans every
+	// record but places only terminals landing in its own [lo,hi) node
+	// window, so the cursor entries and back-array regions it touches
+	// are disjoint from the other shard's (per-node CSR ranges do not
+	// overlap). Type/flow validation rides along on shard 0 only.
+	termsBack = make([]*Trans, totalT)
+	tcur := make([]uint32, nNodes)
+	copy(tcur, termStart[:nNodes])
+	termShards := 1
+	if shards > 1 && nNodes >= 2 {
+		termShards = 2
+	}
+	termErrs := make([]error, termShards)
+	termFill := func(lo, hi uint32, s int, validate bool) {
+		for j := range recs {
+			r := &recs[j]
+			if validate && (r.Type > uint8(tech.RWire) || r.Flow > uint8(FlowOff)) {
+				termErrs[s] = fmt.Errorf("transistor %d has type %d flow %d", j, r.Type, r.Flow)
+				return
+			}
+			ta, tb := uint32(r.A), uint32(r.B)
+			if ta >= un || tb >= un {
+				termErrs[s] = fmt.Errorf("transistor %d references node out of range", j)
+				return
+			}
+			t := &trans[j]
+			if ta >= lo && ta < hi {
+				p := tcur[ta]
+				if p == termStart[ta+1] {
+					termErrs[s] = fmt.Errorf("adjacency offset table disagrees with records at node %d", ta)
+					return
+				}
+				termsBack[p] = t
+				tcur[ta] = p + 1
+			}
+			if tb != ta && tb >= lo && tb < hi {
+				p := tcur[tb]
+				if p == termStart[tb+1] {
+					termErrs[s] = fmt.Errorf("adjacency offset table disagrees with records at node %d", tb)
+					return
+				}
+				termsBack[p] = t
+				tcur[tb] = p + 1
+			}
+		}
+		for i := lo; i < hi; i++ {
+			if tcur[i] != termStart[i+1] {
+				termErrs[s] = fmt.Errorf("adjacency offset table disagrees with records at node %d", i)
+				return
+			}
+		}
+	}
+	if termShards == 2 {
+		mid := un / 2
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			termFill(mid, un, 1, false)
+		}()
+		termFill(0, mid, 0, true)
+	} else {
+		termFill(0, un, 0, true)
+	}
+	wg.Wait()
+	for _, err := range termErrs {
+		if err != nil {
+			termErr = err
+			break
+		}
+	}
+	if err := termErr; err != nil {
+		return fail("%v", err)
+	}
+	if gateErr != nil {
+		return fail("%v", gateErr)
+	}
+	for _, err := range nodeShardErrs {
+		if err != nil {
+			return fail("%v", err)
+		}
+	}
+	for _, err := range fieldShardErrs {
+		if err != nil {
+			return fail("%v", err)
+		}
+	}
+	// Adjacency headers, sharded like the node pass — post-barrier, both
+	// back arrays are complete and each index writes only its own node.
+	setAdj := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			nodes[i].Gates = gatesBack[gateStart[i]:gateStart[i+1]]
+			nodes[i].Terms = termsBack[termStart[i]:termStart[i+1]]
+		}
+	}
+	if nodeShards > 1 {
+		var hwg sync.WaitGroup
+		for s := 1; s < nodeShards; s++ {
+			hwg.Add(1)
+			go func(lo, hi int) {
+				defer hwg.Done()
+				setAdj(lo, hi)
+			}(s*nNodes/nodeShards, (s+1)*nNodes/nodeShards)
+		}
+		setAdj(0, nNodes/nodeShards)
+		hwg.Wait()
+	} else {
+		setAdj(0, nNodes)
+	}
+	// Merge the shards' rail sightings: exactly one of each.
+	for _, rp := range rails {
+		for _, n := range rp.vdd {
+			if nw.vdd != nil {
+				return fail("duplicate Vdd rail")
+			}
+			nw.vdd = n
+		}
+		for _, n := range rp.gnd {
+			if nw.gnd != nil {
+				return fail("duplicate GND rail")
+			}
+			nw.gnd = n
+		}
+	}
+	if nw.vdd == nil || nw.gnd == nil {
+		return fail("missing supply rails")
+	}
+	if !zeroCopy {
+		nw.byName = make(map[string]*Node, nNodes)
+		for _, n := range nw.Nodes {
+			if _, dup := nw.byName[n.Name]; dup {
+				return fail("duplicate node name %q", n.Name)
+			}
+			nw.byName[n.Name] = n
+		}
+	}
+	return nw, v.sourceHash, nil
+}
+
+// WriteSnapshotV2 encodes nw to w in the fixed-layout v2 format.
+func WriteSnapshotV2(w io.Writer, nw *Network, sourceHash [32]byte) error {
+	n, t := len(nw.Nodes), len(nw.Trans)
+	type sec struct {
+		id  uint32
+		buf []byte
+	}
+	pad8 := func(x int) int { return (x + 7) &^ 7 }
+
+	techB := []byte(nw.Tech.Name)
+	nameB := []byte(nw.Name)
+	kinds := make([]byte, n)
+	flags := make([]byte, n)
+	caps := make([]byte, 8*n)
+	gateStart := make([]byte, 4*(n+1))
+	termStart := make([]byte, 4*(n+1))
+	nameOff := make([]byte, 4*(n+1))
+	var nameData []byte
+	var offG, offT, offN uint32
+	for i, nd := range nw.Nodes {
+		kinds[i] = uint8(nd.Kind)
+		if nd.Precharged {
+			flags[i] |= 1
+		}
+		binary.LittleEndian.PutUint64(caps[8*i:], math.Float64bits(nd.Cap))
+		binary.LittleEndian.PutUint32(gateStart[4*i:], offG)
+		binary.LittleEndian.PutUint32(termStart[4*i:], offT)
+		binary.LittleEndian.PutUint32(nameOff[4*i:], offN)
+		offG += uint32(len(nd.Gates))
+		offT += uint32(len(nd.Terms))
+		offN += uint32(len(nd.Name))
+		nameData = append(nameData, nd.Name...)
+	}
+	binary.LittleEndian.PutUint32(gateStart[4*n:], offG)
+	binary.LittleEndian.PutUint32(termStart[4*n:], offT)
+	binary.LittleEndian.PutUint32(nameOff[4*n:], offN)
+	recs := make([]byte, transRecSize*t)
+	for j, tr := range nw.Trans {
+		r := recs[j*transRecSize:]
+		binary.LittleEndian.PutUint64(r[0:8], math.Float64bits(tr.W))
+		binary.LittleEndian.PutUint64(r[8:16], math.Float64bits(tr.L))
+		binary.LittleEndian.PutUint64(r[16:24], math.Float64bits(tr.ROverride))
+		binary.LittleEndian.PutUint32(r[24:28], uint32(tr.Gate.Index))
+		binary.LittleEndian.PutUint32(r[28:32], uint32(tr.A.Index))
+		binary.LittleEndian.PutUint32(r[32:36], uint32(tr.B.Index))
+		r[36], r[37] = uint8(tr.Type), uint8(tr.Flow)
+	}
+
+	secs := []sec{
+		{secTech, techB},
+		{secName, nameB},
+		{secNodeKind, kinds},
+		{secNodeFlags, flags},
+		{secNodeCap, caps},
+		{secTrans, recs},
+		{secGateStart, gateStart},
+		{secTermStart, termStart},
+		{secNameOff, nameOff},
+		{secNameData, nameData},
+	}
+	payloadStart := v2HeaderSize + len(secs)*v2SectionSize
+	total := payloadStart
+	offs := make([]int, len(secs))
+	for i, s := range secs {
+		offs[i] = total
+		total = pad8(total + len(s.buf))
+	}
+	out := make([]byte, total) // ends at the last section's padded edge
+	copy(out[:4], snapshotMagic)
+	binary.LittleEndian.PutUint32(out[4:8], SnapshotVersion2)
+	binary.LittleEndian.PutUint32(out[12:16], uint32(len(secs)))
+	binary.LittleEndian.PutUint64(out[16:24], uint64(total))
+	copy(out[24:56], sourceHash[:])
+	binary.LittleEndian.PutUint32(out[60:64], uint32(n))
+	binary.LittleEndian.PutUint32(out[64:68], uint32(t))
+	for i, s := range secs {
+		ent := out[v2HeaderSize+i*v2SectionSize:][:v2SectionSize]
+		binary.LittleEndian.PutUint32(ent[0:4], s.id)
+		binary.LittleEndian.PutUint64(ent[8:16], uint64(offs[i]))
+		binary.LittleEndian.PutUint64(ent[16:24], uint64(len(s.buf)))
+		copy(out[offs[i]:], s.buf)
+	}
+	binary.LittleEndian.PutUint32(out[56:60], crc32.Checksum(out[payloadStart:], castagnoli))
+	binary.LittleEndian.PutUint32(out[8:12], crc32.Checksum(out[12:payloadStart], castagnoli))
+	if _, err := w.Write(out); err != nil {
+		return fmt.Errorf("simx: %w", err)
+	}
+	return nil
+}
+
+// readSnapshotV2 is the heap decoder for a complete v2 image.
+func readSnapshotV2(data []byte, p *tech.Params) (*Network, [32]byte, error) {
+	var zero [32]byte
+	v, err := parseV2(data)
+	if err != nil {
+		return nil, zero, err
+	}
+	if err := v.verifyPayload(); err != nil {
+		return nil, zero, err
+	}
+	return buildV2(v, p, false)
+}

@@ -1,0 +1,468 @@
+package netlist
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/tech"
+)
+
+// refreshV2CRCs recomputes both checksums of a v2 image in place, so
+// corruption tests can mutate structure and still reach the check that
+// the mutation targets (instead of tripping the CRC first).
+func refreshV2CRCs(b []byte) {
+	count := binary.LittleEndian.Uint32(b[12:16])
+	ps := v2HeaderSize + v2SectionSize*int(count)
+	binary.LittleEndian.PutUint32(b[56:60], crc32.Checksum(b[ps:], castagnoli))
+	binary.LittleEndian.PutUint32(b[8:12], crc32.Checksum(b[12:ps], castagnoli))
+}
+
+func sampleV2Bytes(t *testing.T, p *tech.Params) ([]byte, *Network, [32]byte) {
+	t.Helper()
+	nw, err := ReadSim("sample", p, strings.NewReader(sampleSim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := sha256.Sum256([]byte(sampleSim))
+	var buf bytes.Buffer
+	if err := WriteSnapshotV2(&buf, nw, hash); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), nw, hash
+}
+
+func writeTemp(t *testing.T, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "net.simx")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestSnapshotV1RoundTripProperty keeps the legacy encoder/decoder pair
+// covered now that WriteSnapshot defaults to v2.
+func TestSnapshotV1RoundTripProperty(t *testing.T) {
+	p := tech.NMOS4()
+	for seed := uint64(0); seed < 10; seed++ {
+		nw := randomNetwork(seed, p)
+		hash := sha256.Sum256([]byte(nw.Name))
+		var buf bytes.Buffer
+		if err := WriteSnapshotV1(&buf, nw, hash); err != nil {
+			t.Fatalf("seed %d: write: %v", seed, err)
+		}
+		if v := binary.LittleEndian.Uint32(buf.Bytes()[4:8]); v != SnapshotVersion {
+			t.Fatalf("seed %d: WriteSnapshotV1 emitted version %d", seed, v)
+		}
+		got, gotHash, err := ReadSnapshot(bytes.NewReader(buf.Bytes()), p)
+		if err != nil {
+			t.Fatalf("seed %d: read: %v", seed, err)
+		}
+		if gotHash != hash {
+			t.Fatalf("seed %d: source hash mangled", seed)
+		}
+		if derr := DiffNetworks(nw, got); derr != nil {
+			t.Fatalf("seed %d: %v", seed, derr)
+		}
+	}
+}
+
+// TestSnapshotVersionNegotiation pins the cross-version contract: both
+// versions load through ReadSnapshot, only v2 loads through OpenMapped,
+// and the v2 header keeps magic+version in the same place as v1 so an
+// old v1-only reader rejects a v2 file with a clean version error
+// rather than misparsing it.
+func TestSnapshotVersionNegotiation(t *testing.T) {
+	p := tech.NMOS4()
+	nw, err := ReadSim("sample", p, strings.NewReader(sampleSim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := sha256.Sum256([]byte(sampleSim))
+
+	var v1, v2 bytes.Buffer
+	if err := WriteSnapshotV1(&v1, nw, hash); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSnapshotV2(&v2, nw, hash); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range map[string][]byte{"v1": v1.Bytes(), "v2": v2.Bytes()} {
+		got, gotHash, err := ReadSnapshot(bytes.NewReader(data), p)
+		if err != nil {
+			t.Fatalf("%s via ReadSnapshot: %v", name, err)
+		}
+		if gotHash != hash {
+			t.Fatalf("%s: hash mangled", name)
+		}
+		if derr := DiffNetworks(nw, got); derr != nil {
+			t.Fatalf("%s: %v", name, derr)
+		}
+	}
+
+	// A v1 file must not map; the error is a version mismatch, and the
+	// production path (loadFreshSnapshot) then falls back to the heap
+	// decoder — proven by the LoadSimFile leg below.
+	if _, err := OpenMapped(writeTemp(t, v1.Bytes()), p); err == nil {
+		t.Fatal("OpenMapped accepted a v1 file")
+	}
+
+	// The v2-written-then-v1-read negotiation: a v1-only reader checks
+	// magic then the version word at [4:8] and rejects anything != 1.
+	// Pin the layout that guarantees that clean rejection.
+	b := v2.Bytes()
+	if string(b[:4]) != snapshotMagic || binary.LittleEndian.Uint32(b[4:8]) != SnapshotVersion2 {
+		t.Fatal("v2 header does not keep the v1 magic/version prefix")
+	}
+
+	// And the full fallback: a fresh v1 snapshot file still serves
+	// LoadSimFile warm loads (heap path), relabeled as a snapshot hit.
+	dir := t.TempDir()
+	simPath := filepath.Join(dir, "s.sim")
+	snapPath := filepath.Join(dir, "s.simx")
+	if err := os.WriteFile(simPath, []byte(sampleSim), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSnapshotV1(f, nw, sha256.Sum256([]byte(sampleSim))); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	warm, res, err := LoadSimFile("sample", simPath, p, LoadOptions{Snapshot: snapPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != SourceSnapshot {
+		t.Fatalf("v1 file served with source %q, want %q", res.Source, SourceSnapshot)
+	}
+	if derr := DiffNetworks(nw, warm); derr != nil {
+		t.Fatal(derr)
+	}
+}
+
+// TestMappedRoundTrip: the zero-copy mapped view is structurally
+// identical to the written network, its lazy name index answers
+// lookups, and Close-after-discard is safe.
+func TestMappedRoundTrip(t *testing.T) {
+	p := tech.NMOS4()
+	data, nw, hash := sampleV2Bytes(t, p)
+	m, err := OpenMapped(writeTemp(t, data), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SourceHash != hash {
+		t.Fatal("mapped source hash mangled")
+	}
+	if m.Size() != len(data) {
+		t.Fatalf("mapped size %d, want %d", m.Size(), len(data))
+	}
+	if derr := DiffNetworks(nw, m.Net); derr != nil {
+		t.Fatal(derr)
+	}
+	// Lazy index: built on first Lookup, shared thereafter.
+	for _, n := range nw.Nodes {
+		got := m.Net.Lookup(n.Name)
+		if got == nil || got.Index != n.Index {
+			t.Fatalf("mapped Lookup(%q) = %v", n.Name, got)
+		}
+	}
+	var a, b strings.Builder
+	if err := WriteSim(&a, nw); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSim(&b, m.Net); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("WriteSim differs through the mapped view")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil { // double close is defined
+		t.Fatal(err)
+	}
+}
+
+// TestMappedCorruption: every corruption class the section machinery
+// must reject — with the CRCs refreshed where needed so the targeted
+// check, not the checksum, does the rejecting.
+func TestMappedCorruption(t *testing.T) {
+	p := tech.NMOS4()
+	data, _, _ := sampleV2Bytes(t, p)
+
+	mutate := func(name string, f func(b []byte) []byte) {
+		b := f(bytes.Clone(data))
+		if _, err := OpenMapped(writeTemp(t, b), p); err == nil {
+			t.Errorf("%s: mapped load accepted corrupt file", name)
+		}
+		if _, _, err := ReadSnapshot(bytes.NewReader(b), p); err == nil {
+			t.Errorf("%s: heap load accepted corrupt file", name)
+		}
+	}
+
+	mutate("truncated header", func(b []byte) []byte { return b[:40] })
+	mutate("truncated section table", func(b []byte) []byte { return b[:v2HeaderSize+8] })
+	mutate("truncated payload", func(b []byte) []byte { return b[:len(b)-8] })
+	mutate("trailing garbage", func(b []byte) []byte { return append(b, 0) })
+	mutate("payload CRC mismatch", func(b []byte) []byte {
+		b[len(b)-1] ^= 0x40
+		return b
+	})
+	mutate("header CRC mismatch", func(b []byte) []byte {
+		b[16] ^= 0x40 // fileSize low byte, CRC not refreshed
+		return b
+	})
+	mutate("misaligned section offset", func(b []byte) []byte {
+		off := binary.LittleEndian.Uint64(b[v2HeaderSize+8:])
+		binary.LittleEndian.PutUint64(b[v2HeaderSize+8:], off+1)
+		refreshV2CRCs(b)
+		return b
+	})
+	mutate("section out of bounds", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[v2HeaderSize+8:], uint64(len(b)+8))
+		refreshV2CRCs(b)
+		return b
+	})
+	mutate("section overlaps header", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[v2HeaderSize+8:], 0)
+		refreshV2CRCs(b)
+		return b
+	})
+	mutate("duplicate section", func(b []byte) []byte {
+		copy(b[v2HeaderSize+v2SectionSize:], b[v2HeaderSize:v2HeaderSize+v2SectionSize])
+		refreshV2CRCs(b)
+		return b
+	})
+	mutate("missing section", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[v2HeaderSize:], 63) // retag tech as unknown id
+		refreshV2CRCs(b)
+		return b
+	})
+	mutate("implausible node count", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[60:64], 1<<30)
+		refreshV2CRCs(b)
+		return b
+	})
+	mutate("wrong file size", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[16:24], uint64(len(b))+8)
+		refreshV2CRCs(b)
+		return b
+	})
+
+	// The v1 suite's exhaustive guarantee, on the mapped reader: any
+	// single-byte flip anywhere in the file must be rejected.
+	for off := 0; off < len(data); off++ {
+		mut := bytes.Clone(data)
+		mut[off] ^= 0x40
+		if _, err := OpenMapped(writeTemp(t, mut), p); err == nil {
+			t.Fatalf("single-byte corruption at offset %d accepted by mapped load", off)
+		}
+	}
+}
+
+// TestMappedConcurrentLookup: many goroutines race first Lookup on one
+// shared mapped view (the lazy byName build) while others walk adjacency
+// — the shape of N crystald sessions aliasing one arena mapping. Run
+// under -race in the CI netlist race job.
+func TestMappedConcurrentLookup(t *testing.T) {
+	p := tech.NMOS4()
+	data, nw, _ := sampleV2Bytes(t, p)
+	m, err := OpenMapped(writeTemp(t, data), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(nw.Nodes))
+	for i, n := range nw.Nodes {
+		names[i] = n.Name
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := range names {
+				name := names[(i+g)%len(names)]
+				n := m.Net.Lookup(name)
+				if n == nil || n.Name != name {
+					errs <- &os.PathError{Op: "lookup", Path: name}
+					return
+				}
+				for _, tr := range n.Terms {
+					if tr.Other(n) == nil {
+						errs <- &os.PathError{Op: "adjacency", Path: name}
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestReadSnapshotV1NameAllocations is the regression test for the v1
+// decoder's name handling: names are substrings of the one retained
+// payload string, so decoding a network with hundreds more nodes must
+// not cost hundreds more allocations. The delta between a small and a
+// large network bounds the per-name overhead at zero (plus a small
+// constant for map growth and backing arrays).
+func TestReadSnapshotV1NameAllocations(t *testing.T) {
+	p := tech.NMOS4()
+	encode := func(nNodes int) []byte {
+		nw := New("alloc", p)
+		prev := nw.Vdd()
+		for i := 0; i < nNodes; i++ {
+			n := nw.Node(strings.Repeat("n", 1+i%7) + "_" + string(rune('a'+i%26)) + "_" + itoa(i))
+			nw.AddTrans(tech.NEnh, prev, n, nw.GND(), 0, 0)
+			prev = n
+		}
+		var buf bytes.Buffer
+		if err := WriteSnapshotV1(&buf, nw, [32]byte{1}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	allocs := func(data []byte) float64 {
+		return testing.AllocsPerRun(10, func() {
+			if _, _, err := ReadSnapshot(bytes.NewReader(data), p); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small, large := encode(50), encode(450)
+	delta := allocs(large) - allocs(small)
+	// 400 extra nodes: a per-name allocation would add ≥400 here. The
+	// real delta is map/backing-array growth, well under 50.
+	if delta > 50 {
+		t.Fatalf("v1 decode allocations grew by %.0f for 400 extra nodes — per-name allocation regressed", delta)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	n := len(b)
+	for i > 0 {
+		n--
+		b[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[n:])
+}
+
+// FuzzSnapshotV2 fuzzes the v2 header/section decoder (heap path — the
+// same parseV2/buildV2 the mmap loader runs). Decodable inputs must
+// re-encode and re-decode to an identical network.
+func FuzzSnapshotV2(f *testing.F) {
+	p := tech.NMOS4()
+	nw, err := ReadSim("sample", p, strings.NewReader(sampleSim))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var valid bytes.Buffer
+	if err := WriteSnapshotV2(&valid, nw, sha256.Sum256([]byte(sampleSim))); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:60])
+	f.Add([]byte(snapshotMagic))
+	trunc := bytes.Clone(valid.Bytes()[:v2HeaderSize+v2SectionSize])
+	f.Add(trunc)
+	flip := bytes.Clone(valid.Bytes())
+	flip[len(flip)/2] ^= 0xff
+	f.Add(flip)
+	empty := New("empty", p)
+	var emptyBuf bytes.Buffer
+	if err := WriteSnapshotV2(&emptyBuf, empty, [32]byte{}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(emptyBuf.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, hash, err := readSnapshotV2(data, p)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteSnapshotV2(&buf, got, hash); err != nil {
+			t.Fatalf("re-encode of decoded network failed: %v", err)
+		}
+		again, hash2, err := readSnapshotV2(buf.Bytes(), p)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if hash2 != hash {
+			t.Fatal("source hash changed across round trip")
+		}
+		if derr := DiffNetworks(got, again); derr != nil {
+			t.Fatal(derr)
+		}
+	})
+}
+
+// TestBuildV2ParallelMatchesSerial drives both buildV2 strategies — the
+// fused single-P scan and the overlapped multi-P passes — over the same
+// image and requires identical networks. GOMAXPROCS is forced both ways
+// so the parallel path is exercised even on single-CPU hosts (where the
+// race detector would otherwise never see it).
+func TestBuildV2ParallelMatchesSerial(t *testing.T) {
+	p := tech.NMOS4()
+	nw := New("par", p)
+	prev := nw.Node("in")
+	nw.MarkInput(prev)
+	// Well above the 1<<14-transistor threshold that separates the two
+	// strategies.
+	for i := 0; i < 10000; i++ {
+		cur := nw.Node(fmt.Sprintf("c%d", i))
+		nw.AddTrans(tech.NEnh, prev, cur, nw.GND(), 4e-6, 2e-6)
+		nw.AddTrans(tech.NDep, cur, cur, nw.Vdd(), 2e-6, 8e-6)
+		prev = cur
+	}
+	nw.MarkOutput(prev)
+	hash := sha256.Sum256([]byte(nw.Name))
+	var buf bytes.Buffer
+	if err := WriteSnapshotV2(&buf, nw, hash); err != nil {
+		t.Fatal(err)
+	}
+
+	decode := func() *Network {
+		got, gotHash, err := readSnapshotV2(buf.Bytes(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotHash != hash {
+			t.Fatal("source hash changed across decode")
+		}
+		return got
+	}
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	serial := decode()
+	runtime.GOMAXPROCS(4)
+	parallel := decode()
+	if err := DiffNetworks(serial, parallel); err != nil {
+		t.Fatalf("parallel build differs from serial: %v", err)
+	}
+	if err := DiffNetworks(nw, parallel); err != nil {
+		t.Fatalf("parallel build differs from source network: %v", err)
+	}
+}

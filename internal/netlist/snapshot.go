@@ -8,8 +8,12 @@
 // (and callers re-parse) on any mismatch — wrong hash, wrong tech, wrong
 // version, corrupt payload.
 //
-// Layout (all integers little-endian or uvarint, floats as IEEE-754 bit
-// patterns):
+// Two format versions coexist: this file implements the compact uvarint
+// version 1, simx2.go the fixed-layout memory-mappable version 2 that
+// WriteSnapshot now emits by default. ReadSnapshot accepts both.
+//
+// Version-1 layout (all integers little-endian or uvarint, floats as
+// IEEE-754 bit patterns):
 //
 //	magic    "SIMX"
 //	version  uint32 (currently 1)
@@ -49,19 +53,26 @@ import (
 
 const snapshotMagic = "SIMX"
 
-// SnapshotVersion is the current .simx format version. Readers reject
-// any other version; bump it on any layout change.
+// SnapshotVersion is the legacy compact .simx format version. Readers
+// accept it alongside SnapshotVersion2 and reject anything else.
 const SnapshotVersion = 1
 
 // maxSnapshotNodes bounds the node/transistor counts a reader will
 // trust before allocating — a corrupt header must not ask for terabytes.
 const maxSnapshotCount = 1 << 28
 
-// WriteSnapshot encodes nw to w in .simx format. sourceHash should be
-// the SHA-256 of the .sim text (or any caller-defined cache key) that nw
-// was built from; ReadSnapshot hands it back so callers can validate
-// freshness.
+// WriteSnapshot encodes nw to w in the current .simx format (version 2,
+// memory-mappable). sourceHash should be the SHA-256 of the .sim text
+// (or any caller-defined cache key) that nw was built from; ReadSnapshot
+// hands it back so callers can validate freshness.
 func WriteSnapshot(w io.Writer, nw *Network, sourceHash [32]byte) error {
+	return WriteSnapshotV2(w, nw, sourceHash)
+}
+
+// WriteSnapshotV1 encodes nw in the legacy compact uvarint format —
+// kept for version-negotiation tests and for tools that must emit files
+// readable by older binaries.
+func WriteSnapshotV1(w io.Writer, nw *Network, sourceHash [32]byte) error {
 	payload := make([]byte, 0, 64+len(nw.Nodes)*24+len(nw.Trans)*40)
 	payload = append(payload, sourceHash[:]...)
 	payload = appendString(payload, nw.Tech.Name)
@@ -101,11 +112,12 @@ func WriteSnapshot(w io.Writer, nw *Network, sourceHash [32]byte) error {
 	return nil
 }
 
-// ReadSnapshot decodes a .simx snapshot from r into a fresh Network in
-// technology p, returning the network and the source hash recorded at
-// write time. It fails on bad magic, unknown version, checksum mismatch,
-// truncated payload, or a technology name different from p.Name — all of
-// which mean "re-parse the source", not "the file is usable anyway".
+// ReadSnapshot decodes a .simx snapshot (either version) from r into a
+// fresh Network in technology p, returning the network and the source
+// hash recorded at write time. It fails on bad magic, unknown version,
+// checksum mismatch, truncated payload, or a technology name different
+// from p.Name — all of which mean "re-parse the source", not "the file
+// is usable anyway".
 func ReadSnapshot(r io.Reader, p *tech.Params) (*Network, [32]byte, error) {
 	var sourceHash [32]byte
 	data, err := readAllSized(r)
@@ -115,8 +127,12 @@ func ReadSnapshot(r io.Reader, p *tech.Params) (*Network, [32]byte, error) {
 	if len(data) < 12 || string(data[:4]) != snapshotMagic {
 		return nil, sourceHash, fmt.Errorf("simx: bad magic")
 	}
-	if v := binary.LittleEndian.Uint32(data[4:8]); v != SnapshotVersion {
-		return nil, sourceHash, fmt.Errorf("simx: version %d, want %d", v, SnapshotVersion)
+	switch v := binary.LittleEndian.Uint32(data[4:8]); v {
+	case SnapshotVersion: // fall through to the v1 decoder below
+	case SnapshotVersion2:
+		return readSnapshotV2(data, p)
+	default:
+		return nil, sourceHash, fmt.Errorf("simx: version %d, want %d or %d", v, SnapshotVersion, SnapshotVersion2)
 	}
 	payload := data[12:]
 	if sum := crc32.ChecksumIEEE(payload); sum != binary.LittleEndian.Uint32(data[8:12]) {

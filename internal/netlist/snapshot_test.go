@@ -134,23 +134,26 @@ func TestLoadSimFile(t *testing.T) {
 	}
 	opt := LoadOptions{Workers: 2, Snapshot: snapPath}
 
-	cold, fromSnap, err := LoadSimFile("sample", simPath, p, opt)
+	cold, res, err := LoadSimFile("sample", simPath, p, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if fromSnap {
-		t.Fatal("cold load claimed a snapshot hit")
+	if res.FromCache() || res.Source != SourceParse {
+		t.Fatalf("cold load claimed a cache hit (source %q)", res.Source)
 	}
 	if _, err := os.Stat(snapPath); err != nil {
 		t.Fatalf("cold load did not write snapshot: %v", err)
 	}
 
-	warm, fromSnap, err := LoadSimFile("sample", simPath, p, opt)
+	warm, res, err := LoadSimFile("sample", simPath, p, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !fromSnap {
+	if !res.FromCache() {
 		t.Fatal("warm load missed the snapshot")
+	}
+	if mmapSupported && (res.Source != SourceMmap || res.Mapped == nil) {
+		t.Fatalf("warm load source %q, want mmap with a live mapping", res.Source)
 	}
 	if derr := DiffNetworks(cold, warm); derr != nil {
 		t.Fatalf("warm network differs: %v", derr)
@@ -161,41 +164,54 @@ func TestLoadSimFile(t *testing.T) {
 	if err := os.WriteFile(simPath, []byte(sampleSim+"N extra 5\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	edited, fromSnap, err := LoadSimFile("sample", simPath, p, opt)
+	edited, res, err := LoadSimFile("sample", simPath, p, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if fromSnap {
+	if res.FromCache() {
 		t.Fatal("stale snapshot served after source edit")
 	}
 	if edited.Lookup("extra") == nil {
 		t.Fatal("edited source not reparsed")
 	}
 	// And the rewritten snapshot now reflects the edit.
-	again, fromSnap, err := LoadSimFile("sample", simPath, p, opt)
+	again, res, err := LoadSimFile("sample", simPath, p, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !fromSnap || again.Lookup("extra") == nil {
-		t.Fatalf("snapshot not refreshed after edit (hit=%v)", fromSnap)
+	if !res.FromCache() || again.Lookup("extra") == nil {
+		t.Fatalf("snapshot not refreshed after edit (source %q)", res.Source)
 	}
 
 	// The name is a caller-chosen label outside the content hash: a hit
 	// under a different name is served but relabeled, never mislabeled.
-	renamed, fromSnap, err := LoadSimFile("other", simPath, p, opt)
+	renamed, res, err := LoadSimFile("other", simPath, p, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !fromSnap || renamed.Name != "other" {
-		t.Fatalf("renamed load: hit=%v name=%q, want hit under name \"other\"", fromSnap, renamed.Name)
+	if !res.FromCache() || renamed.Name != "other" {
+		t.Fatalf("renamed load: source=%q name=%q, want hit under name \"other\"", res.Source, renamed.Name)
+	}
+
+	// NoMmap forces the heap decoder even when a fresh v2 file exists.
+	heap, res, err := LoadSimFile("sample", simPath, p,
+		LoadOptions{Workers: 2, Snapshot: snapPath, NoMmap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != SourceSnapshot || res.Mapped != nil {
+		t.Fatalf("NoMmap load source %q, want %q with no mapping", res.Source, SourceSnapshot)
+	}
+	if derr := DiffNetworks(again, heap); derr != nil {
+		t.Fatalf("heap-decoded network differs from mapped: %v", derr)
 	}
 
 	// Disabled cache: parse every time, never touch the snapshot file.
 	if err := os.Remove(snapPath); err != nil {
 		t.Fatal(err)
 	}
-	if _, fromSnap, err = LoadSimFile("sample", simPath, p, LoadOptions{}); err != nil || fromSnap {
-		t.Fatalf("uncached load: hit=%v err=%v", fromSnap, err)
+	if _, res, err = LoadSimFile("sample", simPath, p, LoadOptions{}); err != nil || res.FromCache() {
+		t.Fatalf("uncached load: source=%q err=%v", res.Source, err)
 	}
 	if _, err := os.Stat(snapPath); !os.IsNotExist(err) {
 		t.Fatal("uncached load wrote a snapshot")

@@ -1,0 +1,123 @@
+// Shared network arena coverage: gauge accounting, copy-on-edit
+// detach, per-session-copy fallback, and the bit-identity contract —
+// analysis over the shared mapped view must match analysis over a
+// private heap copy at any worker count, before and after an
+// edit-triggered detach.
+package server
+
+import (
+	"net/http"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+// withTop returns the dlatch config with a distinct Top directive —
+// a different LRU key (no dedup) over the same network identity.
+func withTop(t *testing.T, top int) SessionConfig {
+	cfg := dlatchConfig(t)
+	cfg.Top = top
+	return cfg
+}
+
+// lastBarrierReport extracts the final refreshed report of an edit
+// script.
+func lastBarrierReport(t *testing.T, resp editsResponse) string {
+	t.Helper()
+	if len(resp.Barriers) == 0 {
+		t.Fatal("edit script produced no barriers")
+	}
+	return resp.Barriers[len(resp.Barriers)-1].Report
+}
+
+func TestArenaSharedViews(t *testing.T) {
+	if !netlist.MmapSupported {
+		t.Skip("no mmap on this platform")
+	}
+	dir := t.TempDir()
+
+	// Reference arm: per-session heap copies over the same snapshot
+	// directory, exercised first so its cold create seeds the cache.
+	heap := newTestClient(t, Options{SnapshotDir: dir, NoSharedViews: true})
+	if resp := heap.create(withTop(t, 3)); resp.Source != "parse" {
+		t.Fatalf("heap cold source = %q, want parse", resp.Source)
+	}
+	heapSess := heap.create(withTop(t, 4))
+	if heapSess.Source != "snapshot" {
+		t.Fatalf("heap warm source = %q, want snapshot (NoSharedViews)", heapSess.Source)
+	}
+	if st := heap.metrics().NetArena; st != (ArenaStats{}) {
+		t.Fatalf("netarena gauges moved with shared views disabled: %+v", st)
+	}
+	heapW1 := heap.analyze(heapSess.Session, 1).Report
+	heapW8 := heap.analyze(heapSess.Session, 8).Report
+	if heapW1 != heapW8 {
+		t.Fatal("heap arm: workers-identity violated")
+	}
+
+	// Shared arm: three sessions with distinct analysis directives all
+	// alias one mapping.
+	c := newTestClient(t, Options{SnapshotDir: dir})
+	sessions := make([]createResponse, 0, 3)
+	for top := 4; top <= 6; top++ {
+		resp := c.create(withTop(t, top))
+		if resp.Source != "mmap" {
+			t.Fatalf("top=%d source = %q, want mmap", top, resp.Source)
+		}
+		sessions = append(sessions, resp)
+	}
+	st := c.metrics().NetArena
+	if st.Mappings != 1 || st.SharedSessions != 3 || st.Detaches != 0 {
+		t.Fatalf("after 3 shared creates: %+v", st)
+	}
+	if st.ResidentBytes <= 0 {
+		t.Fatalf("resident_bytes = %d, want > 0", st.ResidentBytes)
+	}
+
+	// Bit-identity mapped-vs-heap at workers 1 and 8 (same Top=4 config
+	// as the heap arm).
+	if got := c.analyze(sessions[0].Session, 1).Report; got != heapW1 {
+		t.Fatalf("mapped w1 report differs from heap:\n--- heap\n%s\n--- mapped\n%s", heapW1, got)
+	}
+	if got := c.analyze(sessions[0].Session, 8).Report; got != heapW8 {
+		t.Fatal("mapped w8 report differs from heap")
+	}
+
+	// Copy-on-edit: the first edit barrier detaches the session onto a
+	// private clone; the result must match the same edit applied to a
+	// heap-loaded session.
+	script := "cap out 2e-14\nrun\n"
+	heapEdited := lastBarrierReport(t, heap.edits(heapSess.Session, script))
+	mappedEdited := lastBarrierReport(t, c.edits(sessions[0].Session, script))
+	if mappedEdited != heapEdited {
+		t.Fatalf("post-detach report differs from heap:\n--- heap\n%s\n--- mapped\n%s", heapEdited, mappedEdited)
+	}
+	st = c.metrics().NetArena
+	if st.Mappings != 1 || st.SharedSessions != 2 || st.Detaches != 1 {
+		t.Fatalf("after detach: %+v", st)
+	}
+
+	// The still-attached sessions are unaffected by the detached
+	// session's private edit.
+	if got := c.analyze(sessions[1].Session, 1).Report; got != heapW1 {
+		t.Fatal("shared view mutated by a detached session's edit")
+	}
+
+	// Deleting a shared session releases its reference; the mapping
+	// stays resident for the next session of the same chip.
+	if st := c.do("DELETE", "/v1/sessions/"+sessions[1].Session, nil, nil); st != http.StatusOK {
+		t.Fatalf("delete: status %d", st)
+	}
+	st = c.metrics().NetArena
+	if st.Mappings != 1 || st.SharedSessions != 1 || st.Detaches != 1 {
+		t.Fatalf("after delete: %+v", st)
+	}
+
+	// A new session re-acquires the resident mapping.
+	if resp := c.create(withTop(t, 7)); resp.Source != "mmap" {
+		t.Fatalf("re-acquire source = %q, want mmap", resp.Source)
+	}
+	if st = c.metrics().NetArena; st.Mappings != 1 || st.SharedSessions != 2 {
+		t.Fatalf("after re-acquire: %+v", st)
+	}
+}

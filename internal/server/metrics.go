@@ -154,7 +154,11 @@ type MetricsSnapshot struct {
 		Oscillations int64 `json:"oscillations"`
 		Compiles     int64 `json:"compiles"`
 	} `json:"sim"`
-	Drain struct {
+	// NetArena is the shared-view gauge set: current mapping/reference
+	// state plus the lifetime copy-on-edit detach count. All zero when
+	// the arena is disabled.
+	NetArena ArenaStats `json:"netarena"`
+	Drain    struct {
 		Batches     int64   `json:"batches"`
 		BatchSize   float64 `json:"batch_size"` // mean frontier batch size
 		FenceStalls int64   `json:"fence_stalls"`
@@ -173,10 +177,12 @@ type MetricsSnapshot struct {
 }
 
 // snapshot assembles the document; live is the current cache size (owned
-// by the server, which holds its own lock).
-func (m *metrics) snapshot(live int) MetricsSnapshot {
+// by the server, which holds its own lock) and arena the shared-view
+// gauges (zero when the arena is disabled).
+func (m *metrics) snapshot(live int, arena ArenaStats) MetricsSnapshot {
 	var s MetricsSnapshot
 	s.Sessions.Live = live
+	s.NetArena = arena
 	s.Sessions.Created = m.sessionsCreated.Load()
 	s.Sessions.Deduped = m.sessionsDeduped.Load()
 	s.Sessions.Evicted = m.sessionsEvicted.Load()

@@ -52,11 +52,17 @@ type Options struct {
 	// bit-identical either way; cmd/crystald exposes this as -reorder.
 	NoReorder bool
 	// SnapshotDir, when non-empty, enables the .simx warm-start cache:
-	// every parsed session is persisted there keyed by its content hash,
-	// and a later POST of identical content — including after a daemon
-	// restart — loads the binary snapshot instead of re-parsing. The
-	// directory is created if missing.
+	// every parsed session is persisted there keyed by its network
+	// identity (source hash + technology + name), and a later POST of
+	// the same network — including after a daemon restart, or under
+	// different analysis directives — loads the binary snapshot instead
+	// of re-parsing. The directory is created if missing.
 	SnapshotDir string
+	// NoSharedViews disables the shared network arena: warm loads then
+	// heap-decode a private copy per session ("snapshot" source) instead
+	// of aliasing one read-only mapped view ("mmap" source). The arena
+	// requires SnapshotDir; cmd/crystald exposes this as -netarena.
+	NoSharedViews bool
 }
 
 func (o Options) fill() Options {
@@ -72,6 +78,10 @@ type Server struct {
 	opts Options
 	mux  *http.ServeMux
 	m    metrics
+
+	// arena shares read-only mapped network views across sessions of
+	// the same chip; nil when disabled (no snapshot dir, NoSharedViews).
+	arena *netArena
 
 	mu     sync.Mutex
 	byID   map[string]*list.Element
@@ -95,6 +105,11 @@ func New(opts Options) *Server {
 		byID:   make(map[string]*list.Element),
 		byHash: make(map[string]*list.Element),
 		lru:    list.New(),
+	}
+	if opts.SnapshotDir != "" && !opts.NoSharedViews {
+		// On platforms without mmap every acquire fails and sessions use
+		// the heap decoder; the arena then just never fills.
+		sv.arena = newNetArena()
 	}
 	sv.mux.HandleFunc("POST /v1/sessions", sv.handleCreate)
 	sv.mux.HandleFunc("GET /v1/sessions", sv.handleList)
@@ -122,7 +137,7 @@ func (sv *Server) MetricsSnapshot() MetricsSnapshot {
 	sv.mu.Lock()
 	live := sv.lru.Len()
 	sv.mu.Unlock()
-	return sv.m.snapshot(live)
+	return sv.m.snapshot(live, sv.arena.stats())
 }
 
 // httpError is the uniform error body.
@@ -182,6 +197,13 @@ func (sv *Server) removeLocked(el *list.Element) {
 	if cur, ok := sv.byHash[s.hash]; ok && cur == el {
 		delete(sv.byHash, s.hash)
 	}
+	if s.shared {
+		// Drop the arena reference; the mapping itself stays resident
+		// (in-flight handlers may still hold the session, and name
+		// strings alias the mapped pages).
+		s.shared = false
+		sv.arena.release(s.akey)
+	}
 }
 
 // markEdited records that a session diverged from its loaded source: it
@@ -199,8 +221,9 @@ func (sv *Server) markEdited(s *session) {
 type createResponse struct {
 	Session string `json:"session"`
 	Cached  bool   `json:"cached"`
-	// Source reports how the network was obtained: "parse" or
-	// "snapshot" (loaded from the .simx warm-start cache, no parsing).
+	// Source reports how the network was obtained: "parse", "snapshot"
+	// (heap-decoded from the .simx warm-start cache, no parsing), or
+	// "mmap" (aliasing the shared arena's read-only mapped view).
 	// Empty when the snapshot cache is disabled.
 	Source      string `json:"source,omitempty"`
 	Name        string `json:"name"`
@@ -242,13 +265,13 @@ func (sv *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if sv.lookup(id) != nil { // hash prefix taken by a diverged session
 		id = fmt.Sprintf("%s.%d", hash[:12], seq)
 	}
-	s, err := newSession(id, cfg, sv.opts.SnapshotDir, sv.opts.DefaultWorkers, sv.opts.NoReorder)
+	s, err := newSession(id, cfg, sv.opts.SnapshotDir, sv.opts.DefaultWorkers, sv.opts.NoReorder, sv.arena)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if sv.opts.SnapshotDir != "" {
-		if s.source == "snapshot" {
+		if s.source != "parse" { // "snapshot" or "mmap": the cache served
 			sv.m.snapshotHits.Add(1)
 		} else {
 			sv.m.snapshotMisses.Add(1)
@@ -519,6 +542,14 @@ func (sv *Server) handleEdits(w http.ResponseWriter, r *http.Request) {
 		// batch failed: stop answering content-hash dedup for it.
 		sv.markEdited(s)
 		s.nw = s.a.Net // Reanalyze advanced the network generation
+		if s.shared {
+			// Copy-on-edit detach: Reanalyze's Apply cloned the shared
+			// view before editing, so s.nw is now a private heap copy —
+			// drop the arena reference (the mapping stays resident; the
+			// clone's name strings still alias its pages).
+			s.shared = false
+			sv.arena.detach(s.akey)
+		}
 	}
 	if err != nil {
 		// A failed batch is atomic (Apply clones before editing), but

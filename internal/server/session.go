@@ -156,11 +156,17 @@ type session struct {
 	cfg  SessionConfig
 
 	// source records how the network was obtained: "parse" (the .sim
-	// text went through ReadSimParallel) or "snapshot" (a fresh .simx
-	// cache entry was loaded and parsing was skipped entirely).
+	// text went through ReadSimParallel), "snapshot" (a fresh .simx
+	// cache entry was heap-decoded), or "mmap" (the session aliases a
+	// shared read-only mapped view from the network arena).
 	source string
 	// snapWrote reports that this load persisted a new snapshot.
 	snapWrote bool
+	// shared marks a session currently aliasing an arena view under
+	// akey; cleared (with an arena release) on copy-on-edit detach and
+	// on removal from the cache.
+	shared bool
+	akey   arenaKey
 
 	params *tech.Params
 	tables *delay.Tables
@@ -197,20 +203,29 @@ func (s *session) batchEngine() (b *switchsim.Batch, compiled bool) {
 	return s.batch, compiled
 }
 
-// newSession loads the network — from the .simx snapshot cache when
-// snapDir holds a fresh entry, otherwise by parsing the source with
-// `workers` tokenizer workers — and prepares (but does not run) the
-// analysis.
+// newSession loads the network — preferably as a shared mapped view
+// from the arena, else from the .simx snapshot cache when snapDir holds
+// a fresh entry, otherwise by parsing the source with `workers`
+// tokenizer workers — and prepares (but does not run) the analysis.
 //
-// Snapshot entries are keyed by the session content hash (the same key
-// the LRU dedup uses), so any config change — source text, tech, name,
-// directives — selects a different file; the embedded SHA-256 of the
-// .sim text and the technology name are re-validated on load, and any
-// mismatch or decode failure falls back to a parse. A snapshot is only
-// ever written after the parsed network passed Check, so a snapshot hit
-// skips both the parse and the structural check.
-func newSession(id string, cfg SessionConfig, snapDir string, workers int, noReorder bool) (*session, error) {
+// Snapshot entries are keyed by the network identity (SHA-256 of the
+// .sim text, plus technology and name — the fields that determine the
+// network's structure), NOT the full session content hash: two configs
+// that differ only in analysis directives (model, seeds, top-N) load
+// the same network, so they share one snapshot file and, through the
+// arena, one mapped view. The embedded source hash, technology and name
+// are re-validated on every load, and any mismatch or decode failure
+// falls back to a parse. A snapshot is only ever written after the
+// parsed network passed Check, so a snapshot hit skips both the parse
+// and the structural check.
+func newSession(id string, cfg SessionConfig, snapDir string, workers int, noReorder bool, arena *netArena) (*session, error) {
 	s := &session{id: id, hash: cfg.hash(), cfg: cfg, source: "parse", noReorder: noReorder}
+	// The retained config drops the .sim source text: it is only needed
+	// below (identity hash + cold parse), and for a chip-scale netlist
+	// the text is tens of megabytes — cached per session, it would
+	// dwarf the memory the shared arena saves. The local cfg still
+	// holds it for this load.
+	s.cfg.Sim = ""
 	switch cfg.Tech {
 	case "nmos-4u", "nmos":
 		s.params = tech.NMOS4()
@@ -238,8 +253,16 @@ func newSession(id string, cfg SessionConfig, snapDir string, workers int, noReo
 	s.model = m
 	var snapPath string
 	simHash := sha256.Sum256([]byte(cfg.Sim))
+	key := arenaKey{simHash: simHash, tech: s.params.Name, name: cfg.Name}
 	if snapDir != "" {
-		snapPath = filepath.Join(snapDir, s.hash+".simx")
+		snapPath = filepath.Join(snapDir, networkFileKey(key)+".simx")
+		if arena != nil {
+			if nw, ok := arena.acquire(snapPath, key, s.params); ok {
+				s.nw, s.source = nw, "mmap"
+				s.shared, s.akey = true, key
+				return s, nil
+			}
+		}
 		if nw, ok := loadSessionSnapshot(snapPath, cfg.Name, s.params, simHash); ok {
 			s.nw, s.source = nw, "snapshot"
 			return s, nil
@@ -261,6 +284,14 @@ func newSession(id string, cfg SessionConfig, snapDir string, workers int, noReo
 		}
 	}
 	return s, nil
+}
+
+// networkFileKey names the snapshot file for one network identity.
+func networkFileKey(key arenaKey) string {
+	h := sha256.New()
+	h.Write([]byte("simx-net:" + key.tech + ":" + key.name + ":"))
+	h.Write(key.simHash[:])
+	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
 // loadSessionSnapshot loads a .simx file and validates it against the

@@ -1,8 +1,11 @@
 // Warm-start cache coverage: a daemon with a snapshot directory must
-// parse a given config exactly once across its own lifetime *and* across
-// restarts, serve warm loads from the .simx cache with identical
+// parse a given netlist exactly once across its own lifetime *and*
+// across restarts, serve warm loads from the .simx cache (memory-mapped
+// where the platform allows, heap-decoded otherwise) with identical
 // analysis results, and fall back to parsing whenever the cache is
-// stale, corrupt, or keyed differently.
+// stale or corrupt. Snapshot files are keyed by network identity
+// (source hash + tech + name), so configs that differ only in analysis
+// directives share one file and one mapped view.
 package server
 
 import (
@@ -10,6 +13,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/netlist"
 )
 
 // snapshotFiles lists the .simx entries in dir.
@@ -20,6 +25,15 @@ func snapshotFiles(t *testing.T, dir string) []string {
 		t.Fatal(err)
 	}
 	return files
+}
+
+// warmSource is the expected create source for a cache hit: the shared
+// mmap view where the platform supports it, the heap decoder otherwise.
+func warmSource() string {
+	if netlist.MmapSupported {
+		return "mmap"
+	}
+	return "snapshot"
 }
 
 func TestSnapshotWarmStart(t *testing.T) {
@@ -46,8 +60,8 @@ func TestSnapshotWarmStart(t *testing.T) {
 	// parse — and it must.
 	c2 := newTestClient(t, Options{SnapshotDir: dir})
 	warm := c2.create(cfg)
-	if warm.Source != "snapshot" {
-		t.Fatalf("warm load source = %q, want snapshot", warm.Source)
+	if warm.Source != warmSource() {
+		t.Fatalf("warm load source = %q, want %q", warm.Source, warmSource())
 	}
 	if warm.Cached {
 		t.Fatal("warm load claimed LRU dedup on a fresh server")
@@ -66,25 +80,45 @@ func TestSnapshotWarmStart(t *testing.T) {
 	}
 
 	// Same daemon, repeated POST after deleting the session: the LRU no
-	// longer holds it, so this is another snapshot hit, not a parse.
+	// longer holds it, so this is another cache hit, not a parse.
 	if st := c2.do("DELETE", "/v1/sessions/"+warm.Session, nil, nil); st != http.StatusOK {
 		t.Fatalf("delete: status %d", st)
 	}
 	again := c2.create(cfg)
-	if again.Source != "snapshot" {
-		t.Fatalf("re-create after eviction: source = %q, want snapshot", again.Source)
+	if again.Source != warmSource() {
+		t.Fatalf("re-create after eviction: source = %q, want %q", again.Source, warmSource())
 	}
 
-	// A config change (different fix directive) is a different content
-	// hash: it must parse, and must write its own snapshot entry.
+	// A config change (different fix directive) is a different LRU key
+	// but the *same network*: snapshot files are keyed by network
+	// identity, so this is another warm hit against the same single
+	// file, not a parse.
 	cfg2 := dlatchConfig(t)
 	cfg2.Fix = map[string]string{"wr": "0"}
 	other := c2.create(cfg2)
-	if other.Source != "parse" {
-		t.Fatalf("changed config source = %q, want parse", other.Source)
+	if other.Source != warmSource() {
+		t.Fatalf("changed config source = %q, want %q", other.Source, warmSource())
+	}
+	if other.Cached {
+		t.Fatal("changed config claimed LRU dedup")
+	}
+	if files := snapshotFiles(t, dir); len(files) != 1 {
+		t.Fatalf("snapshot files after second config: %v (want the shared network file only)", files)
+	}
+	m = c2.metrics()
+	if m.Snapshots.Hits != 3 || m.Snapshots.Misses != 0 || m.Snapshots.Writes != 0 {
+		t.Fatalf("metrics after shared-network hit: %+v", m.Snapshots)
+	}
+
+	// A genuinely different network (different report name) gets its own
+	// snapshot file.
+	cfg3 := dlatchConfig(t)
+	cfg3.Name = "dlatch-b"
+	if resp := c2.create(cfg3); resp.Source != "parse" {
+		t.Fatalf("renamed network source = %q, want parse", resp.Source)
 	}
 	if files := snapshotFiles(t, dir); len(files) != 2 {
-		t.Fatalf("snapshot files after second config: %v", files)
+		t.Fatalf("snapshot files after renamed network: %v", files)
 	}
 }
 
@@ -99,8 +133,9 @@ func TestSnapshotCorruptFallsBack(t *testing.T) {
 	if len(files) != 1 {
 		t.Fatalf("snapshot files: %v", files)
 	}
-	// Flip one payload byte: the CRC must reject it and the load must
-	// quietly parse (and rewrite the snapshot).
+	// Flip one payload byte: the CRC must reject it — in both the mmap
+	// loader and the heap decoder — and the load must quietly parse
+	// (and rewrite the snapshot).
 	raw, err := os.ReadFile(files[0])
 	if err != nil {
 		t.Fatal(err)
@@ -116,8 +151,8 @@ func TestSnapshotCorruptFallsBack(t *testing.T) {
 	}
 	// And the rewrite healed the cache.
 	c3 := newTestClient(t, Options{SnapshotDir: dir})
-	if resp := c3.create(cfg); resp.Source != "snapshot" {
-		t.Fatalf("healed cache source = %q, want snapshot", resp.Source)
+	if resp := c3.create(cfg); resp.Source != warmSource() {
+		t.Fatalf("healed cache source = %q, want %q", resp.Source, warmSource())
 	}
 }
 

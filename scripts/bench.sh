@@ -7,7 +7,9 @@
 # sweep into BENCH_3.json, the ingest (parse/snapshot) throughput record
 # into BENCH_4.json, and the locality/fence record (interleaved reorder
 # A/B, re-recorded drain scaling medians, fence counters) into
-# BENCH_5.json. Every file is stamped with the machine (nproc, CPU
+# BENCH_5.json, the batch-sim throughput record into BENCH_6.json, and
+# the chip-scale mmap ingest + shared-view RSS record into
+# BENCH_7.json. Every file is stamped with the machine (nproc, CPU
 # model, GOMAXPROCS) so numbers are never compared across incomparable
 # hardware. The scaling sweeps refuse to run on a single-CPU box unless
 # BENCH_ALLOW_SINGLE_CPU=1, and are then stamped degenerate — see the
@@ -175,6 +177,84 @@ END {
 
 echo "wrote $OUT6"
 cat "$OUT6"
+
+# BENCH_7.json: zero-copy mmap ingest at chip scale. BenchmarkIngestXL
+# cold-loads the E6-XL snapshot (chip:32,10 — 100k+ nodes, ~182k
+# transistors) through three loaders — the mmap + slice-cast v2 path,
+# the v1 heap decoder, and the v2 heap decoder — with the collector
+# quiesced identically in every arm; the headline is the mmap-vs-v1
+# speedup. BenchmarkSessionRSS then records the memory half: per-session
+# cost for 1/2/4/8 concurrent crystald sessions of the same chip, shared
+# arena vs per-session heap copies. Both are single-threaded
+# measurements, valid on any runner.
+OUT7=BENCH_7.json
+go test -run '^$' -bench 'BenchmarkIngestXL' \
+    -benchtime 20x -count 5 . | tee "$RAW"
+go test -run '^$' -bench 'BenchmarkSessionRSS' \
+    -benchtime 1x -count 1 ./internal/server/ | tee -a "$RAW"
+
+awk '
+/^BenchmarkIngestXL\// {
+    name = $1
+    sub(/^BenchmarkIngestXL\//, "", name)
+    sub(/-[0-9]+$/, "", name)
+    runs[name] = runs[name] $3 ","
+    if (!(name in seen)) { order[++nl] = name; seen[name] = 1 }
+    for (i = 5; i < NF; i += 2)
+        if ($(i + 1) == "ns/node") npn[name] = npn[name] $i ","
+}
+/^BenchmarkSessionRSS\// {
+    name = $1
+    sub(/^BenchmarkSessionRSS\//, "", name)
+    sub(/-[0-9]+$/, "", name)
+    split(name, parts, "/")
+    arm = parts[1]; fleet = parts[2]
+    if (!(name in rseen)) { rorder[++nr] = name; rseen[name] = 1 }
+    for (i = 5; i < NF; i += 2) {
+        if ($(i + 1) == "heapMB/session") heap[name] = $i
+        if ($(i + 1) == "mappedMB")       mapped[name] = $i
+        if ($(i + 1) == "totalMB")        total[name] = $i
+    }
+}
+function median(csv,   r, n, i, j, t) {
+    sub(/,$/, "", csv)
+    n = split(csv, r, ",")
+    for (i = 1; i < n; i++)
+        for (j = i + 1; j <= n; j++)
+            if (r[j] + 0 < r[i] + 0) { t = r[i]; r[i] = r[j]; r[j] = t }
+    return r[int((n + 1) / 2)]
+}
+END {
+    printf "{\n  \"benchmark\": \"mmap_ingest\",\n"
+    printf "  \"machine\": %s,\n", machine
+    printf "  \"chip\": {\"spec\": \"chip:32,10\", \"nodes\": 109670, \"transistors\": 181730},\n"
+    printf "  \"load\": {\n"
+    for (i = 1; i <= nl; i++) {
+        name = order[i]
+        csv = runs[name]
+        sub(/,$/, "", csv)
+        printf "    \"%s\": {\n", name
+        printf "      \"runs_ns_op\": [%s],\n", csv
+        printf "      \"median_ns_op\": %s,\n", median(runs[name])
+        printf "      \"ns_per_node\": %s\n", median(npn[name])
+        printf "    }%s\n", i < nl ? "," : ""
+    }
+    printf "  },\n"
+    printf "  \"speedup_mmap_vs_v1decode\": %.2f,\n", median(runs["v1decode"]) / median(runs["mmap"])
+    printf "  \"speedup_mmap_vs_v2decode\": %.2f,\n", median(runs["v2decode"]) / median(runs["mmap"])
+    printf "  \"rss_sessions\": {\n"
+    for (i = 1; i <= nr; i++) {
+        name = rorder[i]
+        printf "    \"%s\": {\"heap_mb_per_session\": %s, \"mapped_mb\": %s, \"total_mb\": %s}%s\n", \
+            name, heap[name], mapped[name], total[name], i < nr ? "," : ""
+    }
+    printf "  },\n"
+    printf "  \"rss_copy_vs_shared_total_at_8\": %.1f\n", total["copy/8"] / total["shared/8"]
+    printf "}\n"
+}' machine="$MACHINE" "$RAW" > "$OUT7"
+
+echo "wrote $OUT7"
+cat "$OUT7"
 
 fi # BENCH_ONLY != scaling
 
