@@ -2,7 +2,7 @@
 # checks, the race-mode short suite, and a full build.
 GO ?= go
 
-.PHONY: all build vet test race bench bench-scaling
+.PHONY: all build vet test race bench bench-scaling loadgen-smoke
 
 all: vet race build
 
@@ -30,3 +30,9 @@ bench:
 # counters. Refuses single-CPU runners unless BENCH_ALLOW_SINGLE_CPU=1.
 bench-scaling:
 	BENCH_ONLY=scaling ./scripts/bench.sh
+
+# Load/chaos smoke: ~100 scripted sessions against a spawned crystald
+# with response validation, a mid-run SIGTERM+restart, and injected
+# slow/failing async jobs. Zero validation failures is the gate (~30s).
+loadgen-smoke:
+	./scripts/loadgen_smoke.sh

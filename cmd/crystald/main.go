@@ -9,7 +9,15 @@
 //
 //	crystald [-addr :8653] [-max-sessions 16] [-workers 0]
 //	         [-reorder on] [-drain-timeout 30s] [-snapshot-dir DIR]
-//	         [-netarena on]
+//	         [-netarena on] [-job-workers 2] [-job-queue 32]
+//	         [-chaos-job-delay 0] [-chaos-job-fail-every 0]
+//
+// Long requests (a chip-scale analyze, a big edit script) can be
+// submitted with {"async": true}: the daemon answers 202 with a job id
+// and the work runs on a bounded worker pool (-job-workers) behind a
+// bounded queue (-job-queue; full = 429 + Retry-After); poll
+// GET /v1/jobs/{id} for the result. The -chaos-* flags inject slow and
+// failing jobs for the load/chaos harness (cmd/loadgen).
 //
 // With -snapshot-dir, every parsed session is persisted as a binary
 // .simx snapshot keyed by its network identity (source hash + tech +
@@ -53,6 +61,10 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown grace period")
 	snapshotDir := flag.String("snapshot-dir", "", "persist .simx session snapshots here for warm starts (empty = disabled)")
 	netarena := flag.String("netarena", "on", "share one read-only mapped network view across sessions of the same chip: on or off (off = a private heap copy per session)")
+	jobWorkers := flag.Int("job-workers", 2, "async job plane worker-pool size (concurrent {\"async\":true} analyzes/edit scripts)")
+	jobQueue := flag.Int("job-queue", 32, "async job queue bound; a full queue answers 429 + Retry-After")
+	chaosJobDelay := flag.Duration("chaos-job-delay", 0, "fault injection: stretch every async job execution by this much (load/chaos harness only)")
+	chaosJobFailEvery := flag.Int("chaos-job-fail-every", 0, "fault injection: fail every Nth async job with a synthetic 500 (load/chaos harness only; 0 = off)")
 	flag.Parse()
 	if *reorder != "on" && *reorder != "off" {
 		fmt.Fprintf(os.Stderr, "crystald: -reorder: want on or off, got %q\n", *reorder)
@@ -69,6 +81,10 @@ func main() {
 		NoReorder:      *reorder == "off",
 		SnapshotDir:    *snapshotDir,
 		NoSharedViews:  *netarena == "off",
+		JobWorkers:     *jobWorkers,
+		JobQueueDepth:  *jobQueue,
+		JobDelay:       *chaosJobDelay,
+		JobFailEvery:   *chaosJobFailEvery,
 	})
 	// The service metrics through the stock expvar protocol, next to the
 	// runtime's memstats/cmdline vars.
@@ -92,10 +108,18 @@ func main() {
 	case <-ctx.Done():
 	}
 	log.Printf("crystald: draining (grace %s)", *drainTimeout)
+	// Job plane first: new async submissions get 503 while in-flight
+	// synchronous requests and already-admitted jobs run out the grace
+	// period; then the listener closes and waits for its connections.
+	sv.BeginDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("crystald: forced exit: %v", err)
+		os.Exit(1)
+	}
+	if !sv.WaitJobs(*drainTimeout) {
+		log.Printf("crystald: job plane did not drain within %s", *drainTimeout)
 		os.Exit(1)
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {

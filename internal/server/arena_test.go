@@ -7,6 +7,7 @@ package server
 
 import (
 	"net/http"
+	"sync"
 	"testing"
 
 	"repro/internal/netlist"
@@ -119,5 +120,60 @@ func TestArenaSharedViews(t *testing.T) {
 	}
 	if st = c.metrics().NetArena; st.Mappings != 1 || st.SharedSessions != 2 {
 		t.Fatalf("after re-acquire: %+v", st)
+	}
+}
+
+// TestArenaConcurrentDetach races copy-on-edit detaches from two
+// sessions aliasing one mapping: both edit barriers fire concurrently
+// (under -race in CI), each must detach exactly once onto its own
+// private clone, and both results must be bit-identical to the same
+// script applied to a heap-loaded session.
+func TestArenaConcurrentDetach(t *testing.T) {
+	if !netlist.MmapSupported {
+		t.Skip("no mmap on this platform")
+	}
+	dir := t.TempDir()
+	script := "cap out 2e-14\nrun\nresize 2 6e-6 2e-6\nrun\n"
+
+	// Heap control: the expected post-edit report with no arena involved.
+	heap := newTestClient(t, Options{SnapshotDir: dir, NoSharedViews: true})
+	heapSess := heap.create(withTop(t, 3))
+	heap.analyze(heapSess.Session, 1)
+	heapEdited := lastBarrierReport(t, heap.edits(heapSess.Session, script))
+
+	// Shared arm: two sessions over one mapping, analyzed, then edited
+	// from two goroutines at once.
+	c := newTestClient(t, Options{SnapshotDir: dir})
+	a := c.create(withTop(t, 3))
+	b := c.create(withTop(t, 4))
+	if a.Source != "mmap" || b.Source != "mmap" {
+		t.Fatalf("sources = %q, %q, want mmap", a.Source, b.Source)
+	}
+	c.analyze(a.Session, 1)
+	c.analyze(b.Session, 1)
+	if st := c.metrics().NetArena; st.Mappings != 1 || st.SharedSessions != 2 || st.Detaches != 0 {
+		t.Fatalf("before edits: %+v", st)
+	}
+
+	var wg sync.WaitGroup
+	reports := make([]string, 2)
+	for i, id := range []string{a.Session, b.Session} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reports[i] = lastBarrierReport(t, c.edits(id, script))
+		}()
+	}
+	wg.Wait()
+
+	for i, got := range reports {
+		if got != heapEdited {
+			t.Fatalf("session %d post-detach report differs from heap:\n--- heap\n%s\n--- mapped\n%s",
+				i, heapEdited, got)
+		}
+	}
+	st := c.metrics().NetArena
+	if st.Mappings != 1 || st.SharedSessions != 0 || st.Detaches != 2 {
+		t.Fatalf("after concurrent detaches: %+v", st)
 	}
 }

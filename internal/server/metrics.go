@@ -3,6 +3,19 @@
 // /metrics endpoint serves a JSON snapshot; cmd/crystald additionally
 // publishes the same snapshot through the stock expvar protocol at
 // /debug/vars so fleet tooling needs no custom scraper.
+//
+// Concurrency contract, audited for torn reads under concurrent scrape +
+// update (TestMetricsScrapeUnderLoad runs the audit under -race): every
+// counter in the metrics struct is an atomic.Int64 (including max-tracking
+// ones like drainCommitDepth, which uses a CAS loop, and drainRegions,
+// which is a Store — both single 8-byte words, never read-modify-write
+// without atomicity); the latency rings are mutex-guarded because an
+// observation writes three fields; and gauges owned by other subsystems
+// (session-cache size, arena refcounts, job-queue depth) are read under
+// their owners' locks at snapshot time and passed in by value. A snapshot
+// is therefore internally torn only *across* fields (counters advance
+// between two Loads), never within one — each field is a consistent value
+// some moment saw.
 package server
 
 import (
@@ -82,6 +95,11 @@ type metrics struct {
 	editsFull        atomic.Int64 // barriers that fell back to a full drain
 	drainEpochs      atomic.Int64 // cumulative stage-DB generations advanced
 
+	jobsSubmitted atomic.Int64 // async jobs admitted to the queue
+	jobsDone      atomic.Int64 // jobs completed successfully
+	jobsFailed    atomic.Int64 // jobs that completed with an error status
+	jobsRejected  atomic.Int64 // submissions rejected (queue full 429, draining 503)
+
 	simRequests     atomic.Int64 // POST .../simulate calls served
 	simVectors      atomic.Int64 // input vectors settled by the batch engine
 	simSweeps       atomic.Int64 // cumulative settle sweeps across all batches
@@ -91,6 +109,7 @@ type metrics struct {
 	analyzeLatency  latencyRecorder // one full analyze
 	editLatency     latencyRecorder // one edit barrier (Reanalyze + report)
 	simulateLatency latencyRecorder // one simulate batch (compile + settle)
+	jobQueueLatency latencyRecorder // async job queue wait (submit → dispatch)
 
 	// Speculative-drain counters, aggregated across every parallel drain
 	// any session ran (serial drains contribute zeros). See
@@ -147,6 +166,19 @@ type MetricsSnapshot struct {
 		Full        int64 `json:"full"`
 		DrainEpochs int64 `json:"drain_epochs"`
 	} `json:"edits"`
+	// Jobs is the async job plane: instantaneous queue state (gauges)
+	// plus lifetime outcome counters. Queued is the admission-control
+	// signal — at Capacity, new submissions get 429.
+	Jobs struct {
+		Queued    int   `json:"queued"`   // gauge: admitted, not yet dispatched
+		Running   int   `json:"running"`  // gauge: executing on the worker pool
+		Capacity  int   `json:"capacity"` // queue bound (Options.JobQueueDepth)
+		Draining  bool  `json:"draining"` // drain mode: new submissions rejected
+		Submitted int64 `json:"submitted"`
+		Done      int64 `json:"done"`
+		Failed    int64 `json:"failed"`
+		Rejected  int64 `json:"rejected"`
+	} `json:"jobs"`
 	Sim struct {
 		Requests     int64 `json:"requests"`
 		Vectors      int64 `json:"vectors"`
@@ -173,16 +205,35 @@ type MetricsSnapshot struct {
 		Analyze     LatencyStats `json:"analyze"`
 		EditBarrier LatencyStats `json:"edit_barrier"`
 		Simulate    LatencyStats `json:"simulate"`
+		JobQueue    LatencyStats `json:"job_queue"`
 	} `json:"latency_ns"`
+}
+
+// jobGauges is the job plane's instantaneous state, read under the
+// plane's own lock at snapshot time (the plane owns queue/busy state;
+// the cumulative counters live in metrics as atomics).
+type jobGauges struct {
+	Queued   int
+	Running  int
+	Capacity int
+	Draining bool
 }
 
 // snapshot assembles the document; live is the current cache size (owned
 // by the server, which holds its own lock) and arena the shared-view
 // gauges (zero when the arena is disabled).
-func (m *metrics) snapshot(live int, arena ArenaStats) MetricsSnapshot {
+func (m *metrics) snapshot(live int, arena ArenaStats, jobs jobGauges) MetricsSnapshot {
 	var s MetricsSnapshot
 	s.Sessions.Live = live
 	s.NetArena = arena
+	s.Jobs.Queued = jobs.Queued
+	s.Jobs.Running = jobs.Running
+	s.Jobs.Capacity = jobs.Capacity
+	s.Jobs.Draining = jobs.Draining
+	s.Jobs.Submitted = m.jobsSubmitted.Load()
+	s.Jobs.Done = m.jobsDone.Load()
+	s.Jobs.Failed = m.jobsFailed.Load()
+	s.Jobs.Rejected = m.jobsRejected.Load()
 	s.Sessions.Created = m.sessionsCreated.Load()
 	s.Sessions.Deduped = m.sessionsDeduped.Load()
 	s.Sessions.Evicted = m.sessionsEvicted.Load()
@@ -216,5 +267,6 @@ func (m *metrics) snapshot(live int, arena ArenaStats) MetricsSnapshot {
 	s.LatencyNs.Analyze = m.analyzeLatency.stats()
 	s.LatencyNs.EditBarrier = m.editLatency.stats()
 	s.LatencyNs.Simulate = m.simulateLatency.stats()
+	s.LatencyNs.JobQueue = m.jobQueueLatency.stats()
 	return s
 }

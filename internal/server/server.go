@@ -63,11 +63,31 @@ type Options struct {
 	// of aliasing one read-only mapped view ("mmap" source). The arena
 	// requires SnapshotDir; cmd/crystald exposes this as -netarena.
 	NoSharedViews bool
+	// JobWorkers is the async job plane's worker-pool size (default 2):
+	// how many {"async": true} analyzes/edit scripts execute
+	// concurrently. Jobs of one session always serialize regardless.
+	JobWorkers int
+	// JobQueueDepth bounds the admitted-but-undispatched job queue
+	// (default 32). A full queue answers 429 + Retry-After — the
+	// admission-control backpressure signal; see docs/SERVER.md.
+	JobQueueDepth int
+	// JobDelay and JobFailEvery are fault-injection knobs for the load/
+	// chaos harness (cmd/loadgen) and the eviction-race tests: every job
+	// execution is stretched by JobDelay, and every JobFailEvery'th one
+	// fails with a synthetic 500. Zero (the default) disables both.
+	JobDelay     time.Duration
+	JobFailEvery int
 }
 
 func (o Options) fill() Options {
 	if o.MaxSessions <= 0 {
 		o.MaxSessions = 16
+	}
+	if o.JobWorkers <= 0 {
+		o.JobWorkers = 2
+	}
+	if o.JobQueueDepth <= 0 {
+		o.JobQueueDepth = 32
 	}
 	return o
 }
@@ -82,6 +102,10 @@ type Server struct {
 	// arena shares read-only mapped network views across sessions of
 	// the same chip; nil when disabled (no snapshot dir, NoSharedViews).
 	arena *netArena
+
+	// jobs is the async job plane: bounded worker-pool queue behind
+	// {"async": true} analyze/edits submissions (see jobs.go).
+	jobs *jobPlane
 
 	mu     sync.Mutex
 	byID   map[string]*list.Element
@@ -111,6 +135,7 @@ func New(opts Options) *Server {
 		// the heap decoder; the arena then just never fills.
 		sv.arena = newNetArena()
 	}
+	sv.jobs = newJobPlane(opts.JobWorkers, opts.JobQueueDepth, opts.JobDelay, opts.JobFailEvery, &sv.m)
 	sv.mux.HandleFunc("POST /v1/sessions", sv.handleCreate)
 	sv.mux.HandleFunc("GET /v1/sessions", sv.handleList)
 	sv.mux.HandleFunc("GET /v1/sessions/{id}", sv.handleInfo)
@@ -119,6 +144,7 @@ func New(opts Options) *Server {
 	sv.mux.HandleFunc("POST /v1/sessions/{id}/edits", sv.handleEdits)
 	sv.mux.HandleFunc("POST /v1/sessions/{id}/simulate", sv.handleSimulate)
 	sv.mux.HandleFunc("GET /v1/sessions/{id}/critical", sv.handleCritical)
+	sv.mux.HandleFunc("GET /v1/jobs/{id}", sv.handleJob)
 	sv.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -137,7 +163,11 @@ func (sv *Server) MetricsSnapshot() MetricsSnapshot {
 	sv.mu.Lock()
 	live := sv.lru.Len()
 	sv.mu.Unlock()
-	return sv.m.snapshot(live, sv.arena.stats())
+	queued, running, draining := sv.jobs.gauges()
+	return sv.m.snapshot(live, sv.arena.stats(), jobGauges{
+		Queued: queued, Running: running, Draining: draining,
+		Capacity: sv.opts.JobQueueDepth,
+	})
 }
 
 // httpError is the uniform error body.
@@ -373,6 +403,11 @@ type analyzeRequest struct {
 	Workers int `json:"workers,omitempty"`
 	// Force reruns the full drain even when the snapshot is current.
 	Force bool `json:"force,omitempty"`
+	// Async detaches the run from the connection: the handler answers
+	// 202 with a job id immediately and the analysis executes on the job
+	// plane; poll GET /v1/jobs/{id} for the result (identical to the
+	// synchronous body, modulo duration_ns).
+	Async bool `json:"async,omitempty"`
 }
 
 // analyzeResponse is the analyze reply: the snapshot plus run metadata.
@@ -394,6 +429,19 @@ func (sv *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
+	if req.Async {
+		sv.submitJob(w, s, "analyze", func() (int, any) { return sv.analyzeSession(s, req) })
+		return
+	}
+	st, v := sv.analyzeSession(s, req)
+	writeJSON(w, st, v)
+}
+
+// analyzeSession runs one analyze request to completion and returns the
+// HTTP status plus response body — shared verbatim by the synchronous
+// handler and the job plane, so an async result is the synchronous
+// response.
+func (sv *Server) analyzeSession(s *session, req analyzeRequest) (int, any) {
 	workers := req.Workers
 	if workers == 0 {
 		workers = sv.opts.DefaultWorkers
@@ -407,18 +455,15 @@ func (sv *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	// for subsequent edit drains.
 	if snap := s.snap.Load(); snap != nil && !req.Force && s.workers == workers {
 		sv.m.analyzesCached.Add(1)
-		writeJSON(w, http.StatusOK, analyzeResponse{Snapshot: snap, Cached: true, Workers: workers})
-		return
+		return http.StatusOK, analyzeResponse{Snapshot: snap, Cached: true, Workers: workers}
 	}
 	a, err := s.buildAnalyzer(workers, s.a)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
-		return
+		return http.StatusBadRequest, httpError{Error: err.Error()}
 	}
 	start := time.Now()
 	if err := a.Run(); err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
-		return
+		return http.StatusUnprocessableEntity, httpError{Error: err.Error()}
 	}
 	dur := time.Since(start)
 	s.a, s.workers = a, workers
@@ -426,9 +471,9 @@ func (sv *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	sv.m.analyzesFull.Add(1)
 	sv.m.analyzeLatency.observe(dur)
 	sv.m.observeDrain(a.DrainStats()) // fresh analyzer: stats are this run's
-	writeJSON(w, http.StatusOK, analyzeResponse{
+	return http.StatusOK, analyzeResponse{
 		Snapshot: snap, Workers: workers, DurationNs: dur.Nanoseconds(),
-	})
+	}
 }
 
 // editsRequest is the POST .../edits body: an edit script in the same
@@ -438,6 +483,11 @@ type editsRequest struct {
 	// Workers optionally retunes the drain parallelism for the replay
 	// (0 keeps the session's current setting).
 	Workers int `json:"workers,omitempty"`
+	// Async runs the script on the job plane: 202 + job id immediately,
+	// poll GET /v1/jobs/{id} for the barrier results. Long edit scripts
+	// (every barrier is a re-analysis) are the other connection-holding
+	// request class besides analyze.
+	Async bool `json:"async,omitempty"`
 }
 
 // barrierResult reports one `run` barrier: the Reanalyze outcome — honest
@@ -476,12 +526,23 @@ func (sv *Server) handleEdits(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "missing script")
 		return
 	}
+	if req.Async {
+		sv.submitJob(w, s, "edits", func() (int, any) { return sv.editsSession(s, req) })
+		return
+	}
+	st, v := sv.editsSession(s, req)
+	writeJSON(w, st, v)
+}
 
+// editsSession applies one edit script to completion and returns the
+// HTTP status plus response body — shared by the synchronous handler and
+// the job plane, like analyzeSession.
+func (sv *Server) editsSession(s *session, req editsRequest) (int, any) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.a == nil {
-		writeErr(w, http.StatusConflict, "session %s not analyzed yet (POST .../analyze first)", s.id)
-		return
+		return http.StatusConflict, httpError{
+			Error: fmt.Sprintf("session %s not analyzed yet (POST .../analyze first)", s.id)}
 	}
 	if req.Workers != 0 {
 		s.a.Opts.Workers = req.Workers
@@ -555,14 +616,13 @@ func (sv *Server) handleEdits(w http.ResponseWriter, r *http.Request) {
 		// A failed batch is atomic (Apply clones before editing), but
 		// earlier barriers in the same script have been applied; report
 		// them alongside the error so the client knows where it stopped.
-		writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
+		return http.StatusUnprocessableEntity, map[string]any{
 			"error":    err.Error(),
 			"barriers": resp.Barriers,
-		})
-		return
+		}
 	}
 	resp.Snapshot = s.snap.Load()
-	writeJSON(w, http.StatusOK, resp)
+	return http.StatusOK, resp
 }
 
 func (sv *Server) handleCritical(w http.ResponseWriter, r *http.Request) {

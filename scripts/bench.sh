@@ -7,9 +7,11 @@
 # sweep into BENCH_3.json, the ingest (parse/snapshot) throughput record
 # into BENCH_4.json, and the locality/fence record (interleaved reorder
 # A/B, re-recorded drain scaling medians, fence counters) into
-# BENCH_5.json, the batch-sim throughput record into BENCH_6.json, and
-# the chip-scale mmap ingest + shared-view RSS record into
-# BENCH_7.json. Every file is stamped with the machine (nproc, CPU
+# BENCH_5.json, the batch-sim throughput record into BENCH_6.json, the
+# chip-scale mmap ingest + shared-view RSS record into BENCH_7.json, and
+# the crystald service saturation curves (cmd/loadgen concurrency ramp
+# with response validation) into BENCH_8.json. Every file is stamped
+# with the machine (nproc, CPU
 # model, GOMAXPROCS) so numbers are never compared across incomparable
 # hardware. The scaling sweeps refuse to run on a single-CPU box unless
 # BENCH_ALLOW_SINGLE_CPU=1, and are then stamped degenerate — see the
@@ -255,6 +257,38 @@ END {
 
 echo "wrote $OUT7"
 cat "$OUT7"
+
+# BENCH_8.json: service saturation curves. cmd/loadgen drives a real
+# crystald process (spawned for the run, snapshot warm starts enabled)
+# through an offered-concurrency ramp of mixed scripted-session traffic —
+# sync and async analyzes, edit barriers, simulate batches, critical
+# queries — with response validation on (async results hard-asserted
+# byte-identical to sync). The record is throughput, analyze p50/p99 and
+# the 429 rejection rate per step, plus the detected saturation knee.
+# Tunables: LOADGEN_RAMP (steps), LOADGEN_STEP (per-step duration),
+# LOADGEN_SESSIONS (slot count), LOADGEN_JOB_WORKERS / LOADGEN_JOB_QUEUE
+# (daemon async plane).
+OUT8=BENCH_8.json
+go build -o "${TMPDIR:-/tmp}/bench-crystald" ./cmd/crystald
+go build -o "${TMPDIR:-/tmp}/bench-loadgen" ./cmd/loadgen
+"${TMPDIR:-/tmp}/bench-loadgen" \
+    -daemon "${TMPDIR:-/tmp}/bench-crystald" \
+    -port "${LOADGEN_PORT:-8943}" \
+    -ramp "${LOADGEN_RAMP:-2,4,8,16,32}" \
+    -step-duration "${LOADGEN_STEP:-4s}" \
+    -sessions "${LOADGEN_SESSIONS:-32}" \
+    -max-sessions "${LOADGEN_MAX_SESSIONS:-24}" \
+    -job-workers "${LOADGEN_JOB_WORKERS:-2}" \
+    -job-queue "${LOADGEN_JOB_QUEUE:-32}" \
+    -validate \
+    -out "$RAW.loadgen"
+jq --argjson machine "$MACHINE" \
+    '{benchmark: "loadgen_saturation", machine: $machine} + .' \
+    "$RAW.loadgen" > "$OUT8"
+rm -f "$RAW.loadgen"
+
+echo "wrote $OUT8"
+cat "$OUT8"
 
 fi # BENCH_ONLY != scaling
 

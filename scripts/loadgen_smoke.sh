@@ -1,0 +1,50 @@
+#!/bin/sh
+# Load/chaos smoke for CI: cmd/loadgen drives a spawned crystald through
+# ~100 scripted sessions of mixed sync/async traffic with response
+# validation on, injects a mid-run SIGTERM + restart over the warm
+# snapshot cache, and injects slow and failing async jobs. The run must
+# finish with zero validation failures and zero hard errors (loadgen
+# exits nonzero otherwise); the report must additionally show that the
+# probes actually fired — validation pairs compared, the restart
+# happened, warm-start creates occurred, chaos failures were absorbed.
+#
+# Usage: scripts/loadgen_smoke.sh (from the repo root). ~30s.
+set -eu
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/crystald" ./cmd/crystald
+go build -o "$TMP/loadgen" ./cmd/loadgen
+
+"$TMP/loadgen" \
+    -daemon "$TMP/crystald" \
+    -port "${LOADGEN_PORT:-8961}" \
+    -snapshot-dir "$TMP/snap" \
+    -sessions 100 \
+    -reuse 0.3 \
+    -concurrency "${LOADGEN_SMOKE_CONCURRENCY:-16}" \
+    -duration "${LOADGEN_SMOKE_DURATION:-12s}" \
+    -max-sessions 48 \
+    -validate \
+    -restart-after 4s \
+    -chaos-job-delay 1ms \
+    -chaos-job-fail-every 11 \
+    -out "$TMP/report.json"
+
+# The exit code above already asserts zero validation failures / hard
+# errors; now assert the fault probes genuinely fired.
+jq -e '
+    .validation.pairs > 0
+    and .validation.failures == 0
+    and .restarts == 1
+    and .creates_warm > 0
+    and .chaos_failures > 0
+' "$TMP/report.json" > /dev/null || {
+    echo "loadgen_smoke: probe coverage assertion failed:" >&2
+    jq '{validation, restarts, creates_warm, creates_dedup, chaos_failures}' "$TMP/report.json" >&2
+    exit 1
+}
+
+echo "loadgen_smoke: OK"
+jq '{steps: [.steps[] | {concurrency, ops, throughput_ops, rejected, errors}], validation, restarts, creates_warm, chaos_failures}' "$TMP/report.json"
