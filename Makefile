@@ -2,7 +2,7 @@
 # checks, the race-mode short suite, and a full build.
 GO ?= go
 
-.PHONY: all build vet test race bench bench-scaling loadgen-smoke
+.PHONY: all build vet test race bench bench-scaling bench-hier loadgen-smoke
 
 all: vet race build
 
@@ -30,6 +30,13 @@ bench:
 # counters. Refuses single-CPU runners unless BENCH_ALLOW_SINGLE_CPU=1.
 bench-scaling:
 	BENCH_ONLY=scaling ./scripts/bench.sh
+
+# Hierarchical-macromodel record only (BENCH_9): the interleaved hier
+# on/off A/B on E6-XL (chip:32,10) and the chip:64,40 hier-on scale
+# point. The stamped-speedup floor (stage_reduction >= 5) is
+# informational — a shortfall warns, it does not fail.
+bench-hier:
+	BENCH_ONLY=hier ./scripts/bench.sh
 
 # Load/chaos smoke: ~100 scripted sessions against a spawned crystald
 # with response validation, a mid-run SIGTERM+restart, and injected

@@ -396,6 +396,183 @@ func BenchmarkE6ReorderAB(b *testing.B) {
 	b.ReportMetric((mOff-mOn)/mOff*100, "improvement-pct")
 }
 
+// BenchmarkE6HierAB is the hierarchical-macromodel A/B (BENCH_9): per
+// iteration it analyzes the E6-XL replicated-tile chip (chip:32,10 —
+// ten tile instances sharing the opcode bus) twice on the same runner,
+// once with hierarchical stamping and once flat, order alternating, and
+// asserts the critical arrivals identical — the A/B form of the
+// bit-identity contract. Reported metrics: per-side median wall time,
+// the wall speedup, the stage-evaluation reduction (the deterministic,
+// hardware-independent form of the macromodel win: stamped interiors
+// evaluate zero stages), and the instance/stamped provenance counts.
+//
+// Both arms raise MaxEventsPerNode above the 150-round default: the
+// 32-bit multiplier's reconvergent carry logic legitimately needs more
+// propagation rounds, and a guard cutoff inside a tile conservatively
+// unstamps its whole class (the cutoff point is order-dependent). The
+// same limit on both sides keeps the arms comparable and bit-identical.
+func BenchmarkE6HierAB(b *testing.B) {
+	const gridW, gridTiles = 32, 10
+	const eventGuard = 1000
+	p := tech.NMOS4()
+	tb := delay.AnalyticTables(p)
+	nw, err := gen.ChipGrid(p, gridW, gridTiles)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fixed, loopBreak := gen.ChipGridDirectives(gridW, gridTiles)
+
+	var instances, stamped int
+	analyze := func(hier bool) (time.Duration, float64, int) {
+		opts := core.Options{Workers: 1, Hier: hier, MaxEventsPerNode: eventGuard}
+		for _, name := range loopBreak {
+			if n := nw.Lookup(name); n != nil {
+				opts.LoopBreak = append(opts.LoopBreak, n)
+			}
+		}
+		start := time.Now()
+		a := core.New(nw, delay.NewSlope(tb), opts)
+		for name, v := range fixed {
+			n := nw.Lookup(name)
+			if n == nil {
+				b.Fatalf("missing directive node %s", name)
+			}
+			a.SetFixed(n, switchsim.FromBool(v == "1"))
+		}
+		for _, in := range nw.Inputs() {
+			if _, isFixed := fixed[in.Name]; isFixed {
+				continue
+			}
+			a.SetInputEvent(in, tech.Rise, 0, 0)
+			a.SetInputEvent(in, tech.Fall, 0, 0)
+		}
+		if err := a.Run(); err != nil {
+			b.Fatal(err)
+		}
+		d := time.Since(start)
+		ev, _ := a.MaxArrival()
+		if !ev.Valid {
+			b.Fatal("no arrival")
+		}
+		if hier {
+			hs := a.HierStats()
+			instances, stamped = hs.Instances, hs.Stamped
+			if stamped == 0 {
+				b.Fatal("hierarchical analysis stamped nothing on the tiled grid")
+			}
+		}
+		return d, ev.T, a.StagesEvaluated()
+	}
+
+	var on, off []time.Duration
+	var stagesOn, stagesOff int
+	for i := 0; i < b.N; i++ {
+		var dOn, dOff time.Duration
+		var tOn, tOff float64
+		if i%2 == 0 {
+			dOff, tOff, stagesOff = analyze(false)
+			dOn, tOn, stagesOn = analyze(true)
+		} else {
+			dOn, tOn, stagesOn = analyze(true)
+			dOff, tOff, stagesOff = analyze(false)
+		}
+		if tOn != tOff {
+			b.Fatalf("critical arrival differs: hier on %g vs off %g", tOn, tOff)
+		}
+		on = append(on, dOn)
+		off = append(off, dOff)
+	}
+	medianNs := func(ds []time.Duration) float64 {
+		s := append([]time.Duration(nil), ds...)
+		for i := 1; i < len(s); i++ {
+			for j := i; j > 0 && s[j] < s[j-1]; j-- {
+				s[j], s[j-1] = s[j-1], s[j]
+			}
+		}
+		return float64(s[len(s)/2].Nanoseconds())
+	}
+	mOn, mOff := medianNs(on), medianNs(off)
+	b.ReportMetric(mOn, "ns-hier-on")
+	b.ReportMetric(mOff, "ns-hier-off")
+	b.ReportMetric(mOff/mOn, "speedup")
+	b.ReportMetric(float64(stagesOff)/float64(stagesOn), "stage-reduction")
+	b.ReportMetric(float64(instances), "instances")
+	b.ReportMetric(float64(stamped), "stamped")
+	b.ReportMetric(float64(nw.Stats().Trans), "transistors")
+}
+
+// BenchmarkHierXL is the BENCH_9 scale point: the chip:64,40 grid (~2.4M
+// transistors, 40 tile instances) analyzed once with hierarchical
+// stamping at full drain parallelism. Flat analysis at this scale is
+// minutes of wall time, so only the hier arm runs; the recorded metrics
+// are the wall time, the live heap after the run (the RSS-sublinearity
+// evidence: stamped interiors carry copied events but no stage
+// enumerations or history), and the provenance counts.
+func BenchmarkHierXL(b *testing.B) {
+	const gridW, gridTiles = 64, 40
+	p := tech.NMOS4()
+	tb := delay.AnalyticTables(p)
+	nw, err := gen.ChipGrid(p, gridW, gridTiles)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fixed, loopBreak := gen.ChipGridDirectives(gridW, gridTiles)
+	var instances, stamped, trans int
+	var heapMB float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// 64-bit carry logic needs even more propagation rounds than the
+		// 32-bit A/B; see BenchmarkE6HierAB on why the guard must not fire.
+		opts := core.Options{Workers: 0, Hier: true, MaxEventsPerNode: 4000}
+		for _, name := range loopBreak {
+			if n := nw.Lookup(name); n != nil {
+				opts.LoopBreak = append(opts.LoopBreak, n)
+			}
+		}
+		a := core.New(nw, delay.NewSlope(tb), opts)
+		for name, v := range fixed {
+			n := nw.Lookup(name)
+			if n == nil {
+				b.Fatalf("missing directive node %s", name)
+			}
+			a.SetFixed(n, switchsim.FromBool(v == "1"))
+		}
+		for _, in := range nw.Inputs() {
+			if _, isFixed := fixed[in.Name]; isFixed {
+				continue
+			}
+			a.SetInputEvent(in, tech.Rise, 0, 0)
+			a.SetInputEvent(in, tech.Fall, 0, 0)
+		}
+		if err := a.Run(); err != nil {
+			b.Fatal(err)
+		}
+		ev, _ := a.MaxArrival()
+		if !ev.Valid {
+			b.Fatal("no arrival")
+		}
+		if len(a.Unbounded) != 0 {
+			b.Fatalf("feedback guard fired on %d nodes; raise MaxEventsPerNode", len(a.Unbounded))
+		}
+		hs := a.HierStats()
+		instances, stamped = hs.Instances, hs.Stamped
+		if stamped == 0 {
+			b.Fatal("hierarchical analysis stamped nothing on the XL grid")
+		}
+		trans = nw.Stats().Trans
+		b.StopTimer()
+		var ms runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		heapMB = float64(ms.HeapAlloc) / 1e6
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(trans), "transistors")
+	b.ReportMetric(float64(instances), "instances")
+	b.ReportMetric(float64(stamped), "stamped")
+	b.ReportMetric(heapMB, "heapMB")
+}
+
 // BenchmarkE6Incremental measures the designer loop on the chip-scale
 // design: after one full analysis, each iteration applies a small localized
 // edit batch (output-driver geometry and load tweaks — the classic "widen

@@ -54,6 +54,7 @@ type config struct {
 	inSlope   float64
 	workers   int
 	reorder   string
+	hier      string
 	top       int
 	runERC    bool
 	deadline  float64
@@ -115,6 +116,7 @@ func main() {
 	flag.Float64Var(&cfg.inSlope, "slope", 1e-9, "input transition time in seconds")
 	flag.IntVar(&cfg.workers, "workers", 1, "drain worker count for one analysis (0 = all cores); results are bit-identical at every setting")
 	flag.StringVar(&cfg.reorder, "reorder", "on", "cache-conscious node reordering of the compiled network: on or off (results are bit-identical either way)")
+	flag.StringVar(&cfg.hier, "hier", "off", "hierarchical macromodel analysis over instance annotations: on or off (results are bit-identical either way)")
 	flag.IntVar(&cfg.top, "top", 5, "number of critical paths to print")
 	flag.BoolVar(&cfg.runERC, "erc", false, "run electrical rule checks before timing")
 	flag.Float64Var(&cfg.deadline, "deadline", 0, "if positive, print a slack report against this time (seconds)")
@@ -204,6 +206,13 @@ func run(cfg config, w io.Writer) (int, error) {
 	default:
 		return 0, fmt.Errorf("-reorder: want on or off, got %q", cfg.reorder)
 	}
+	switch cfg.hier {
+	case "on":
+		opts.Hier = true
+	case "off", "":
+	default:
+		return 0, fmt.Errorf("-hier: want on or off, got %q", cfg.hier)
+	}
 	for _, name := range splitList(cfg.loopbreak) {
 		n := nw.Lookup(name)
 		if n == nil {
@@ -269,6 +278,11 @@ func run(cfg config, w io.Writer) (int, error) {
 		st := a.Net.Stats()
 		fmt.Fprintf(w, "crystal: %s — %d transistors, %d nodes (%s tables)\n",
 			a.Net.Name, st.Trans, st.Nodes, tb.Source)
+		if opts.Hier {
+			hs := a.HierStats()
+			fmt.Fprintf(w, "crystal: hier: %d instances, %d stamped, %d flat\n",
+				hs.Instances, hs.Stamped, hs.Flat)
+		}
 		if err := a.WriteReport(w, cfg.top); err != nil {
 			return 0, err
 		}

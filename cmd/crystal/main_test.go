@@ -2,8 +2,13 @@ package main
 
 import (
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/netlist"
+	"repro/internal/tech"
 )
 
 // testdataPath points at the repository-level testdata directory.
@@ -30,6 +35,70 @@ func TestRunDLatch(t *testing.T) {
 		if !strings.Contains(rep, want) {
 			t.Errorf("report missing %q:\n%s", want, rep)
 		}
+	}
+}
+
+// TestRunHier: -hier on over a replicated-tile chip prints the provenance
+// summary (tile 0 fingerprints alone, tiles 1/2 share a class: one
+// representative flat, one member stamped), and the path report matches a
+// flat run byte for byte — the CLI face of the bit-identity contract.
+func TestRunHier(t *testing.T) {
+	p := tech.NMOS4()
+	nw, err := gen.ChipGrid(p, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simPath := filepath.Join(t.TempDir(), "grid.sim")
+	f, err := os.Create(simPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := netlist.WriteSim(f, nw); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	fixed, loopBreak := gen.ChipGridDirectives(8, 3)
+	var fix []string
+	for name, v := range fixed {
+		fix = append(fix, name+"="+v)
+	}
+	cfg := config{
+		simFile:  simPath,
+		techName: "nmos-4u", model: "slope", tables: "analytic",
+		fix:       strings.Join(fix, ","),
+		loopbreak: strings.Join(loopBreak, ","),
+		inSlope:   1e-9, top: 3, hier: "on",
+	}
+	var out strings.Builder
+	if _, err := run(cfg, &out); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "crystal: hier: 3 instances, 1 stamped, 2 flat") {
+		t.Errorf("missing hier summary line:\n%s", out.String())
+	}
+
+	cfg.hier = "off"
+	var flat strings.Builder
+	if _, err := run(cfg, &flat); err != nil {
+		t.Fatal(err)
+	}
+	// Identical paths and arrivals; only the hier summary and the stage-
+	// evaluation count in the header may differ (stamping evaluates fewer
+	// stages — that is the speedup).
+	norm := func(s string) string {
+		var keep []string
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, "crystal: hier:") ||
+				strings.HasPrefix(line, "timing report:") {
+				continue
+			}
+			keep = append(keep, line)
+		}
+		return strings.Join(keep, "\n")
+	}
+	if norm(out.String()) != norm(flat.String()) {
+		t.Errorf("hier and flat reports differ beyond the evaluation count:\n--- hier ---\n%s\n--- flat ---\n%s",
+			out.String(), flat.String())
 	}
 }
 
@@ -79,6 +148,7 @@ func TestRunErrors(t *testing.T) {
 		{simFile: testdataPath + "dlatch.sim", techName: "nmos-4u", tables: "analytic", model: "rc", fix: "wr=7"},
 		{simFile: testdataPath + "dlatch.sim", techName: "nmos-4u", tables: "analytic", model: "rc", fix: "ghost=1"},
 		{simFile: testdataPath + "dlatch.sim", techName: "nmos-4u", tables: "analytic", model: "rc", rise: "ghost"},
+		{simFile: testdataPath + "dlatch.sim", techName: "nmos-4u", tables: "analytic", model: "rc", hier: "maybe"},
 	}
 	for i, cfg := range cases {
 		var out strings.Builder

@@ -35,6 +35,16 @@
 // (including a running drain) get -drain-timeout to finish, then the
 // process exits. /metrics serves the service counters as JSON; the same
 // document is published through expvar at /debug/vars.
+//
+// -hier on enables hierarchical macromodel analysis for every session:
+// replicated instances (annotated @ inst in the .sim) analyze one
+// representative and stamp the timing onto the other copies. Results are
+// bit-identical either way; analyze responses then carry a "hier"
+// provenance block and /metrics a hier.* section.
+//
+// -debug-addr starts a second HTTP listener serving only net/http/pprof
+// (/debug/pprof/...). It is separate from -addr so profiling stays off
+// any exposed service port; bind it to localhost.
 package main
 
 import (
@@ -45,6 +55,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -58,6 +69,8 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 16, "LRU session cache bound (memory knob)")
 	workers := flag.Int("workers", 0, "default drain parallelism per analysis (0 = all cores)")
 	reorder := flag.String("reorder", "on", "cache-conscious node reordering of compiled networks: on or off (results are bit-identical either way)")
+	hier := flag.String("hier", "off", "hierarchical macromodel analysis over instance annotations: on or off (results are bit-identical either way)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this second address (empty = disabled; bind to localhost)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown grace period")
 	snapshotDir := flag.String("snapshot-dir", "", "persist .simx session snapshots here for warm starts (empty = disabled)")
 	netarena := flag.String("netarena", "on", "share one read-only mapped network view across sessions of the same chip: on or off (off = a private heap copy per session)")
@@ -74,11 +87,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "crystald: -netarena: want on or off, got %q\n", *netarena)
 		os.Exit(1)
 	}
+	if *hier != "on" && *hier != "off" {
+		fmt.Fprintf(os.Stderr, "crystald: -hier: want on or off, got %q\n", *hier)
+		os.Exit(1)
+	}
 
 	sv := server.New(server.Options{
 		MaxSessions:    *maxSessions,
 		DefaultWorkers: *workers,
 		NoReorder:      *reorder == "off",
+		Hier:           *hier == "on",
 		SnapshotDir:    *snapshotDir,
 		NoSharedViews:  *netarena == "off",
 		JobWorkers:     *jobWorkers,
@@ -97,6 +115,25 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("crystald: listening on %s (max %d sessions)", *addr, *maxSessions)
+
+	if *debugAddr != "" {
+		// Profiling side mux: only the pprof handlers, on its own listener,
+		// so a CPU/heap capture against a loaded daemon never needs the
+		// service port. Best effort — a dead debug listener is logged, not
+		// fatal.
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("crystald: pprof on %s/debug/pprof/", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dbg); err != nil {
+				log.Printf("crystald: debug listener: %v", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()

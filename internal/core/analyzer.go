@@ -96,6 +96,13 @@ type Options struct {
 	// scratch — past it, resetting and re-propagating most of the chip
 	// costs more than a clean full run (default 0.5).
 	ReanalyzeMaxDirty float64
+	// Hier enables hierarchical macromodel analysis (see hier.go): repeated
+	// instances annotated in the netlist are detected, one representative
+	// per class is analyzed flat, and its interior timing is stamped onto
+	// every member whose boundary context matches exactly. Results are
+	// bit-identical to a flat run; instances whose context differs fall
+	// back to flat analysis individually.
+	Hier bool
 }
 
 func (o Options) fill() Options {
@@ -178,6 +185,15 @@ type Analyzer struct {
 	// adjacency, per-node flags) — the only network representation the
 	// event loop reads. Rebuilt per generation by buildGates.
 	cnet *netlist.Compact
+
+	// Hierarchical analysis state (nil when Options.Hier is off or nothing
+	// was detected). The masks alias hier's current masks and are checked
+	// in the hot loops; both are nil whenever nothing is stamped, so the
+	// flat path costs one nil check. Indexed by node / transistor index
+	// (not compiled row) — instance geometry lives in index space.
+	hier          *hierState
+	hierSkipNode  []bool
+	hierSkipTrans []bool
 }
 
 // histEvent is one superseded event that was propagated before being
@@ -367,7 +383,7 @@ func (a *Analyzer) Arrival(n *netlist.Node, tr tech.Transition) Event {
 	if a.events == nil {
 		return Event{}
 	}
-	return a.events[a.row(n.Index)][tr]
+	return a.eventAt(n.Index, tr)
 }
 
 // StagesEvaluated reports how many stage/model evaluations Run performed —
@@ -430,6 +446,9 @@ func (a *Analyzer) Run() error {
 	if err := a.settleStatic(); err != nil {
 		return err
 	}
+	if a.Opts.Hier {
+		a.setupHier()
+	}
 
 	// Stage database: accept the shared one only if it was built over
 	// this network under the same sensitization and enumeration bounds;
@@ -444,11 +463,19 @@ func (a *Analyzer) Run() error {
 		a.db.Stamp = stamp
 	}
 	if w := Workers(a.Opts.Workers, 0); w > 1 {
-		a.db.Prewarm(w)
+		// With stamped members the prewarm skips their devices and inputs
+		// entirely — the stage enumerations that were never going to be
+		// evaluated are never built, which is the memory win of
+		// hierarchical analysis.
+		a.db.PrewarmMasked(w, a.hierSkipTrans, a.hierSkipNode)
 	}
 
-	a.seedAll()
-	a.drainRouted(nil)
+	if a.hier != nil {
+		a.drainAndStamp()
+	} else {
+		a.seedAll()
+		a.drainRouted(nil)
+	}
 	return nil
 }
 
@@ -674,6 +701,9 @@ func (a *Analyzer) propagateEvent(node int, tr tech.Transition, ev Event) {
 	if !ev.Valid {
 		return
 	}
+	if a.hierSkipNode != nil && node < len(a.hierSkipNode) && a.hierSkipNode[node] {
+		return // stamped member interior: timing arrives by stamping
+	}
 
 	// 1. Gate consequences, via the database's compiled consequence lists:
 	// a turn-on evaluates every stage through the device (both target
@@ -687,6 +717,9 @@ func (a *Analyzer) propagateEvent(node int, tr tech.Transition, ev Event) {
 	cn := a.cnet
 	for _, ref := range cn.GateRef[cn.GateStart[row]:cn.GateStart[row+1]] {
 		ti, on1 := netlist.UnpackGateRef(ref)
+		if a.hierSkipTrans != nil && int(ti) < len(a.hierSkipTrans) && a.hierSkipTrans[ti] {
+			continue // stamped member device
+		}
 		turnsOn := (tr == tech.Rise) == on1
 		var stages []*stage.Stage
 		var trunc bool
@@ -746,6 +779,11 @@ func (a *Analyzer) stageStamp() string {
 func (a *Analyzer) applyStage(st *stage.Stage, fromNode int, fromTr tech.Transition, ev Event) {
 	// Source validity: an input-fed stage needs the source to plausibly
 	// hold the driving value; rails were filtered by the enumerator.
+	if a.hierSkipNode != nil {
+		if t := st.Target.Index; t < len(a.hierSkipNode) && a.hierSkipNode[t] {
+			return // stamped member interior: boundary fan-in is replayed by the representative
+		}
+	}
 	if si := st.SourceInputIndex(); si >= 0 && !a.Opts.NoStaticPruning {
 		sv := a.static[si]
 		want := switchsim.V1
@@ -805,7 +843,7 @@ func (a *Analyzer) Trace(n *netlist.Node, tr tech.Transition) *Path {
 			break
 		}
 		seen[k] = true
-		e := a.events[a.row(node)][t]
+		e := a.eventAt(node, t)
 		rev = append(rev, Hop{a.Net.Nodes[node], t, e})
 		if e.FromNode < 0 {
 			break

@@ -246,9 +246,15 @@ func (a *Analyzer) speculate(s *specItem) {
 	if a.loopBreak[row] || !s.ev.Valid {
 		return
 	}
+	if a.hierSkipNode != nil && node < len(a.hierSkipNode) && a.hierSkipNode[node] {
+		return // stamped member interior: timing arrives by stamping
+	}
 	cn := a.cnet
 	for _, ref := range cn.GateRef[cn.GateStart[row]:cn.GateStart[row+1]] {
 		ti, on1 := netlist.UnpackGateRef(ref)
+		if a.hierSkipTrans != nil && int(ti) < len(a.hierSkipTrans) && a.hierSkipTrans[ti] {
+			continue // stamped member device
+		}
 		var stages []*stage.Stage
 		var trunc bool
 		if (tr == tech.Rise) == on1 {
@@ -272,6 +278,11 @@ func (a *Analyzer) speculate(s *specItem) {
 
 // specStage is applyStage without the improve: filter, evaluate, record.
 func (a *Analyzer) specStage(s *specItem, st *stage.Stage) {
+	if a.hierSkipNode != nil {
+		if t := st.Target.Index; t < len(a.hierSkipNode) && a.hierSkipNode[t] {
+			return // stamped member interior: boundary fan-in is replayed by the representative
+		}
+	}
 	if si := st.SourceInputIndex(); si >= 0 && !a.Opts.NoStaticPruning {
 		sv := a.static[si]
 		want := switchsim.V1

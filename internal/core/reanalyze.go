@@ -64,6 +64,12 @@ func (a *Analyzer) Reanalyze(edits []incremental.Edit) (*ReanalyzeStats, error) 
 		return nil, err
 	}
 	plan := res.Plan(oldStatic, a.static)
+	if a.hier != nil && !plan.ForceFull {
+		// Detach stamped instances the batch reaches (widening the plan to
+		// cover their interiors) before the incremental/full decision reads
+		// the dirty fraction.
+		a.hierReanalyze(res, plan)
+	}
 
 	stats := &ReanalyzeStats{
 		DirtyNodes: plan.DirtyNodes,
@@ -88,6 +94,11 @@ func (a *Analyzer) Reanalyze(edits []incremental.Edit) (*ReanalyzeStats, error) 
 		// the cycle at a non-canonical cutoff. Only a from-scratch drain
 		// reproduces the full run's spin.
 		stats.Full, stats.Reason = true, "edit touches a feedback region"
+	}
+	if stats.Full {
+		// A from-scratch drain recomputes every arrival flat; nothing
+		// stays stamped, so hierarchical state would only misreport.
+		a.dropHier()
 	}
 
 	// Next stage-database generation. A full fallback still derives when
@@ -121,6 +132,7 @@ func (a *Analyzer) Reanalyze(edits []incremental.Edit) (*ReanalyzeStats, error) 
 			// independent of the dirty cone, so its cutoffs are already
 			// canonical.)
 			stats.Full, stats.Reason = true, "feedback detected in the edited region"
+			a.dropHier()
 			a.runFull()
 		}
 	}

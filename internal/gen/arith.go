@@ -15,8 +15,8 @@ import (
 // "p0".."p(2w-1)". Transistor count grows as w², making it the largest
 // standard block.
 func ArrayMultiplier(p *tech.Params, w int) (*netlist.Network, error) {
-	if w < 2 || w > 24 {
-		return nil, fmt.Errorf("gen: multiplier width must be in 2..24, got %d", w)
+	if w < 2 || w > 32 {
+		return nil, fmt.Errorf("gen: multiplier width must be in 2..32, got %d", w)
 	}
 	l := NewLib(fmt.Sprintf("arraymul-%d", w), p)
 	a := make([]*netlist.Node, w)

@@ -22,8 +22,8 @@ import (
 // conventions with prefixes: datapath ports are top-level ("b0", "sh0",
 // "addr0", …); the PLA inputs are "op0".."op7".
 func Chip(p *tech.Params, w int) (*netlist.Network, error) {
-	if w < 4 || w%2 != 0 || w > 32 {
-		return nil, fmt.Errorf("gen: chip width must be even, in 4..32, got %d", w)
+	if w < 4 || w%2 != 0 || w > 64 {
+		return nil, fmt.Errorf("gen: chip width must be even, in 4..64, got %d", w)
 	}
 	top := netlist.New(fmt.Sprintf("chip-%d", w), p)
 

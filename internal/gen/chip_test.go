@@ -1,6 +1,7 @@
 package gen
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/netlist"
@@ -43,9 +44,92 @@ func TestChipBuilds(t *testing.T) {
 
 func TestChipErrors(t *testing.T) {
 	p := tech.NMOS4()
-	for _, w := range []int{3, 5, 34} {
+	for _, w := range []int{3, 5, 66} {
 		if _, err := Chip(p, w); err == nil {
 			t.Errorf("Chip(%d) should fail", w)
+		}
+	}
+}
+
+// TestChipInstances: the composed chip records one instance per imported
+// block, nested tile instances under grid prefixes, all Check-valid.
+func TestChipInstances(t *testing.T) {
+	p := tech.NMOS4()
+	nw, err := ChipGrid(p, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Check(); err != nil {
+		t.Fatal(err)
+	}
+	perTile := map[string]bool{}
+	for _, inst := range nw.Instances {
+		perTile[inst.Path] = true
+	}
+	// Each tile carries its four block instances plus its own stamp.
+	for _, tp := range []string{"t0_", "t1_", "t2_"} {
+		for _, sub := range []string{"dp_", "mul_", "au_", "pla_", ""} {
+			if !perTile[tp+sub] {
+				t.Errorf("missing instance %q", tp+sub)
+			}
+		}
+	}
+	// Children precede their enclosing tile stamp.
+	pos := map[string]int{}
+	for i, inst := range nw.Instances {
+		pos[inst.Path] = i
+	}
+	for _, tp := range []string{"t0_", "t1_", "t2_"} {
+		for _, sub := range []string{"dp_", "mul_", "au_", "pla_"} {
+			if pos[tp+sub] > pos[tp] {
+				t.Errorf("child %q recorded after parent %q", tp+sub, tp)
+			}
+		}
+	}
+}
+
+// TestChipGridXXLStats is the golden stats test for the ~1M-transistor
+// scale point (chip:64,40) introduced for hierarchical analysis. The
+// exact counts are pinned so a generator change that silently moves the
+// benchmark's workload is caught.
+func TestChipGridXXLStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chip:64,40 build is seconds of work; skipped under -short")
+	}
+	p := tech.NMOS4()
+	nw, err := ChipGrid(p, 64, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Check(); err != nil {
+		t.Fatal(err)
+	}
+	st := nw.Stats()
+	t.Logf("chip-64x40: %d transistors, %d nodes, %d instances", st.Trans, st.Nodes, len(nw.Instances))
+	if st.Trans < 900_000 {
+		t.Errorf("chip:64,40 has %d transistors, want ~1M", st.Trans)
+	}
+	// 40 tiles × (4 datapath children + 4 chip blocks + tile stamp) = 360.
+	if len(nw.Instances) != 360 {
+		t.Errorf("chip:64,40 has %d instances, want 360", len(nw.Instances))
+	}
+	if st.Trans < 2_000_000 || st.Trans > 3_000_000 {
+		t.Errorf("chip:64,40 has %d transistors, outside the pinned 2.0M-3.0M band", st.Trans)
+	}
+	// Tiles 1..39 are byte-for-byte replicas of tile 0 structurally: same
+	// per-tile transistor span.
+	var spans []int
+	for _, inst := range nw.Instances {
+		if len(inst.Path) > 0 && inst.Path[0] == 't' && strings.Count(inst.Path, "_") == 1 {
+			spans = append(spans, inst.TransHi-inst.TransLo)
+		}
+	}
+	if len(spans) != 40 {
+		t.Fatalf("found %d tile instances, want 40", len(spans))
+	}
+	for i, s := range spans {
+		if s != spans[0] {
+			t.Errorf("tile %d spans %d transistors, tile 0 spans %d", i, s, spans[0])
 		}
 	}
 }

@@ -19,8 +19,8 @@ import (
 // shifter selects "sh0..(w-1)", operand "b0..(w-1)", "cin"; outputs
 // "out0..(w-1)".
 func Datapath(p *tech.Params, w int) (*netlist.Network, error) {
-	if w < 2 || w > 32 {
-		return nil, fmt.Errorf("gen: datapath width must be in 2..32, got %d", w)
+	if w < 2 || w > 64 {
+		return nil, fmt.Errorf("gen: datapath width must be in 2..64, got %d", w)
 	}
 	const words = 8
 	top := netlist.New(fmt.Sprintf("datapath-%d", w), p)

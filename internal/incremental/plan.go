@@ -208,6 +208,76 @@ func (r *Result) Plan(oldStatic, newStatic []switchsim.Value) *Plan {
 	return p
 }
 
+// Widen marks the components containing the given node indexes time-dirty
+// and re-closes the downstream closure, growing the analyzer-facing dirty
+// maps (dirtyNode, DirtyNodes, Frac). DB dirtiness is deliberately
+// untouched: the caller widens regions whose structure is intact but whose
+// recorded timing must be recomputed from scratch — a hierarchically
+// stamped instance detaching to flat analysis carries no replay history,
+// so its whole interior re-enters the dirty set even when the edit only
+// grazed it.
+func (p *Plan) Widen(nodeIdxs []int) {
+	nw := p.res.Net
+	var queue []int
+	mark := func(c int) {
+		if c >= 0 && !p.timeDirty[c] {
+			p.timeDirty[c] = true
+			queue = append(queue, c)
+		}
+	}
+	for _, idx := range nodeIdxs {
+		if idx >= 0 && idx < len(p.comp) {
+			mark(p.comp[idx])
+		}
+	}
+	if len(queue) == 0 {
+		return
+	}
+	// Same downstream closure as Plan: dirty arrivals propagate through
+	// gate fanout, and through source channels.
+	members := p.memberLists()
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		for _, idx := range members[c] {
+			n := nw.Nodes[idx]
+			for _, t := range n.Gates {
+				mark(p.comp[t.A.Index])
+				mark(p.comp[t.B.Index])
+			}
+			if n.IsSource() {
+				for _, t := range n.Terms {
+					if o := t.Other(n); o != nil {
+						mark(p.comp[o.Index])
+					}
+				}
+			}
+		}
+	}
+	// Refresh the per-node view from the widened component set.
+	nonRail := 0
+	p.DirtyNodes = 0
+	for _, n := range nw.Nodes {
+		c := p.comp[n.Index]
+		if c < 0 {
+			continue
+		}
+		nonRail++
+		if p.timeDirty[c] || n.Index >= p.res.oldNodes {
+			p.dirtyNode[n.Index] = true
+		}
+		if p.dirtyNode[n.Index] {
+			p.DirtyNodes++
+		}
+	}
+	if nonRail > 0 {
+		p.Frac = float64(p.DirtyNodes) / float64(nonRail)
+	}
+	if p.ForceFull {
+		p.Frac = 1
+	}
+}
+
 // dirtyComp marks the component containing n db-dirty (no-op for rails).
 func (p *Plan) dirtyComp(n *netlist.Node) {
 	if c := p.comp[n.Index]; c >= 0 {

@@ -32,6 +32,10 @@ func (nw *Network) Clone() *Network {
 	}
 	c.vdd = c.Nodes[nw.vdd.Index]
 	c.gnd = c.Nodes[nw.gnd.Index]
+	if len(nw.Instances) > 0 {
+		c.Instances = make([]Instance, len(nw.Instances))
+		copy(c.Instances, nw.Instances)
+	}
 	for i, t := range nw.Trans {
 		ct := &Trans{
 			Index:     t.Index,

@@ -20,6 +20,11 @@ import (
 // geometry are preserved. Import returns an error (leaving nw possibly
 // extended but structurally valid) if a name collision would merge two
 // unrelated nodes.
+//
+// Import also records the stamp in nw.Instances: one entry per instance
+// sub itself carried (rebased into nw's index space and path-prefixed),
+// followed by one entry covering everything this call created, with Path =
+// prefix. Children therefore always precede their enclosing parent.
 func (nw *Network) Import(sub *Network, prefix string, connect map[string]string) error {
 	if sub == nil {
 		return fmt.Errorf("netlist: nil subnetwork")
@@ -64,9 +69,19 @@ func (nw *Network) Import(sub *Network, prefix string, connect map[string]string
 		tn.Precharged = sn.Precharged
 		nodeMap[sn] = tn
 	}
+	base := len(nw.Trans)
 	for _, st := range sub.Trans {
 		t := nw.AddTrans(st.Type, nodeMap[st.Gate], nodeMap[st.A], nodeMap[st.B], st.W, st.L)
 		t.Flow = st.Flow
+		t.ROverride = st.ROverride
 	}
+	for _, inst := range sub.Instances {
+		nw.Instances = append(nw.Instances, Instance{
+			Path:    prefix + inst.Path,
+			TransLo: base + inst.TransLo,
+			TransHi: base + inst.TransHi,
+		})
+	}
+	nw.Instances = append(nw.Instances, Instance{Path: prefix, TransLo: base, TransHi: len(nw.Trans)})
 	return nil
 }

@@ -81,5 +81,15 @@ func DiffNetworks(a, b *Network) error {
 			return fmt.Errorf("trans %d: r override %v vs %v", i, at.ROverride, bt.ROverride)
 		}
 	}
+	if len(a.Instances) != len(b.Instances) {
+		return fmt.Errorf("instance count: %d vs %d", len(a.Instances), len(b.Instances))
+	}
+	for i, ai := range a.Instances {
+		bi := b.Instances[i]
+		if ai != bi {
+			return fmt.Errorf("instance %d: %q [%d,%d) vs %q [%d,%d)",
+				i, ai.Path, ai.TransLo, ai.TransHi, bi.Path, bi.TransLo, bi.TransHi)
+		}
+	}
 	return nil
 }

@@ -191,6 +191,21 @@ func (t *Trans) String() string {
 		t.Type, t.Gate.Name, t.A.Name, t.B.Name, t.W, t.L)
 }
 
+// Instance records that the transistors [TransLo, TransHi) were stamped
+// as one hierarchical block. Composition (Import) appends these
+// automatically; .sim files carry them as "@ inst" directives and .simx v2
+// snapshots as an optional section. They are annotations only — nothing in
+// the electrical model reads them — but the hierarchical analyzer
+// (internal/hier) uses them as candidate regions for macromodel reuse.
+type Instance struct {
+	// Path is the hierarchical name, e.g. "t3_" or "t3_dp_". Non-empty.
+	Path string
+	// TransLo and TransHi bound the instance's transistors, half-open in
+	// index space: every device the stamp created, contiguous by
+	// construction (Import appends).
+	TransLo, TransHi int
+}
+
 // Network is a switch-level circuit: nodes, transistors, and the
 // technology they are drawn in.
 type Network struct {
@@ -201,6 +216,12 @@ type Network struct {
 	// Nodes and Trans own the graph. Indexes are dense.
 	Nodes []*Node
 	Trans []*Trans
+
+	// Instances lists hierarchical stamp annotations, children before
+	// their enclosing parent (the order Import records them in). May be
+	// empty; ranges may nest but never partially overlap when produced by
+	// Import.
+	Instances []Instance
 
 	// byName is the name index. Construction paths build it eagerly; the
 	// memory-mapped .simx loader leaves it nil and nameOnce materializes
@@ -448,23 +469,67 @@ func (nw *Network) Check() error {
 		if (t.A.Kind == KindVdd && t.B.Kind == KindGnd) || (t.A.Kind == KindGnd && t.B.Kind == KindVdd) {
 			return fmt.Errorf("netlist %s: transistor %d shorts the supplies through one channel", nw.Name, i)
 		}
-		if !hasTrans(t.Gate.Gates, t) {
+	}
+	// Adjacency consistency in O(nodes + edges). A per-transistor scan of
+	// the terminal lists (`t ∈ t.A.Terms`) is quadratic on rails — GND's
+	// Terms holds a large fraction of every transistor in the design, so a
+	// chip-scale Check would spend minutes re-walking it. Instead walk
+	// each list once: every entry must name the owning node among its
+	// terminals (validity), appear at most once per list (dedup marker),
+	// and the per-transistor tallies must land exactly on the expected
+	// membership count (1 gate list; 1 terminal list when A == B, else 2).
+	gateSeen := make([]uint8, len(nw.Trans))
+	termSeen := make([]uint8, len(nw.Trans))
+	lastList := make([]int32, len(nw.Trans)) // node index+1 of the last Terms list naming this trans
+	for _, n := range nw.Nodes {
+		for _, t := range n.Gates {
+			if t == nil || t.Index < 0 || t.Index >= len(nw.Trans) || nw.Trans[t.Index] != t {
+				return fmt.Errorf("netlist %s: gate list of %q holds a foreign transistor", nw.Name, n.Name)
+			}
+			if t.Gate != n {
+				return fmt.Errorf("netlist %s: gate list of %q holds transistor %d gated by %q", nw.Name, n.Name, t.Index, t.Gate.Name)
+			}
+			if gateSeen[t.Index] != 0 {
+				return fmt.Errorf("netlist %s: transistor %d appears twice in the gate list of %q", nw.Name, t.Index, n.Name)
+			}
+			gateSeen[t.Index] = 1
+		}
+		for _, t := range n.Terms {
+			if t == nil || t.Index < 0 || t.Index >= len(nw.Trans) || nw.Trans[t.Index] != t {
+				return fmt.Errorf("netlist %s: terminal list of %q holds a foreign transistor", nw.Name, n.Name)
+			}
+			if t.A != n && t.B != n {
+				return fmt.Errorf("netlist %s: terminal list of %q holds transistor %d with terminals %q/%q", nw.Name, n.Name, t.Index, t.A.Name, t.B.Name)
+			}
+			if lastList[t.Index] == int32(n.Index)+1 {
+				return fmt.Errorf("netlist %s: transistor %d appears twice in the terminal list of %q", nw.Name, t.Index, n.Name)
+			}
+			lastList[t.Index] = int32(n.Index) + 1
+			termSeen[t.Index]++
+		}
+	}
+	for i, t := range nw.Trans {
+		if gateSeen[i] == 0 {
 			return fmt.Errorf("netlist %s: transistor %d missing from gate list of %q", nw.Name, i, t.Gate.Name)
 		}
-		if !hasTrans(t.A.Terms, t) || !hasTrans(t.B.Terms, t) {
+		want := uint8(2)
+		if t.A == t.B {
+			want = 1
+		}
+		if termSeen[i] != want {
 			return fmt.Errorf("netlist %s: transistor %d missing from a terminal list", nw.Name, i)
 		}
 	}
-	return nil
-}
-
-func hasTrans(list []*Trans, t *Trans) bool {
-	for _, x := range list {
-		if x == t {
-			return true
+	for i, inst := range nw.Instances {
+		if inst.Path == "" {
+			return fmt.Errorf("netlist %s: instance %d has empty path", nw.Name, i)
+		}
+		if inst.TransLo < 0 || inst.TransHi < inst.TransLo || inst.TransHi > len(nw.Trans) {
+			return fmt.Errorf("netlist %s: instance %q has transistor range [%d,%d) outside [0,%d)",
+				nw.Name, inst.Path, inst.TransLo, inst.TransHi, len(nw.Trans))
 		}
 	}
-	return false
+	return nil
 }
 
 // SortedNodeNames returns all node names in lexical order; handy for

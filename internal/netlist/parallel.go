@@ -63,6 +63,7 @@ const (
 	recMark  // @ in|out|precharged name...
 	recFlow  // @ flow dir index
 	recScale // | units: N
+	recInst  // @ inst path lo hi
 )
 
 // mark subkinds for recMark.
@@ -390,6 +391,22 @@ func tokenizeSimChunk(p *tech.Params, src string) *simChunk {
 				}
 				ch.recs = append(ch.recs, simRec{kind: recFlow, line: int32(line),
 					flow: fl, idx: int32(idx), tok: fields[3], tok2: fields[2]})
+			case "inst":
+				if len(fields) < 5 {
+					fail("inst directive needs a path and a transistor range")
+					break
+				}
+				lo, err1 := strconv.Atoi(fields[3])
+				hi, err2 := strconv.Atoi(fields[4])
+				if err1 != nil || err2 != nil || lo < 0 || hi < lo {
+					fail("bad instance range %q %q", fields[3], fields[4])
+					break
+				}
+				// The hi <= len(nw.Trans) bound needs the merged transistor
+				// count, so it is deferred with the raw tokens.
+				ch.recs = append(ch.recs, simRec{kind: recInst, line: int32(line),
+					sym: [3]int32{intern(fields[2])}, idx: int32(lo), n: int32(hi),
+					tok: fields[3], tok2: fields[4]})
 			default:
 				fail("unknown directive %q", fields[1])
 			}
@@ -527,6 +544,13 @@ func mergeSimChunks(name string, p *tech.Params, chunks []*simChunk) (*Network, 
 					return nil, fmt.Errorf("sim %s:%d: unknown flow direction %q", name, startLine+int(rec.line), rec.tok2)
 				}
 				nw.Trans[rec.idx].Flow = rec.flow
+			case recInst:
+				if int(rec.n) > len(nw.Trans) {
+					return nil, fmt.Errorf("sim %s:%d: bad instance range %q %q", name, startLine+int(rec.line), rec.tok, rec.tok2)
+				}
+				nw.Instances = append(nw.Instances, Instance{
+					Path: ch.canon[rec.sym[0]], TransLo: int(rec.idx), TransHi: int(rec.n),
+				})
 			}
 		}
 		if ch.errLine != 0 {

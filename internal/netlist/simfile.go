@@ -17,6 +17,9 @@
 //	@ in|out <node>...                  input/output markers (extension)
 //	@ flow a>b|b>a|off <index>          flow hint for transistor (extension)
 //	@ precharged <node>...              precharge markers (extension)
+//	@ inst <path> <lo> <hi>             hierarchical stamp annotation:
+//	                                    transistors [lo,hi) form instance
+//	                                    <path> (extension)
 //
 // Geometry (l, w) is in "units" — hundredths of a micron scaled by the
 // units header (mextra convention: units gives centimicrons per unit;
@@ -272,6 +275,18 @@ func ReadSim(name string, p *tech.Params, r io.Reader) (*Network, error) {
 				default:
 					return nil, fail("unknown flow direction %q", fields[2])
 				}
+			case "inst":
+				if len(fields) < 5 {
+					return nil, fail("inst directive needs a path and a transistor range")
+				}
+				lo, err1 := strconv.Atoi(fields[3])
+				hi, err2 := strconv.Atoi(fields[4])
+				if err1 != nil || err2 != nil || lo < 0 || hi < lo || hi > len(nw.Trans) {
+					return nil, fail("bad instance range %q %q", fields[3], fields[4])
+				}
+				nw.Instances = append(nw.Instances, Instance{
+					Path: itn.Intern(fields[2]), TransLo: lo, TransHi: hi,
+				})
 			default:
 				return nil, fail("unknown directive %q", fields[1])
 			}
@@ -337,6 +352,9 @@ func WriteSim(w io.Writer, nw *Network) error {
 		if t.Flow != FlowBoth {
 			fmt.Fprintf(bw, "@ flow %s %d\n", t.Flow, t.Index)
 		}
+	}
+	for _, inst := range nw.Instances {
+		fmt.Fprintf(bw, "@ inst %s %d %d\n", inst.Path, inst.TransLo, inst.TransHi)
 	}
 	return bw.Flush()
 }

@@ -36,6 +36,11 @@
 //	  8 termStart  (nNodes+1) × uint32 — CSR offsets of Node.Terms
 //	  9 nameOff    (nNodes+1) × uint32 — offsets into nameData
 //	 10 nameData   concatenated node names
+//	 11 inst       nInst × 16-byte record {TransLo,TransHi,PathOff,PathEnd
+//	               uint32} — OPTIONAL; present only when the network carries
+//	               hierarchical instance annotations, so instance-free files
+//	               are byte-identical to what earlier writers produced
+//	 12 instPath   concatenated instance path bytes (with section 11)
 //
 // The adjacency reference lists themselves are not stored: replaying
 // transistors in index order reproduces AddTrans's insertion order
@@ -82,6 +87,10 @@ const (
 	secTermStart = 8
 	secNameOff   = 9
 	secNameData  = 10
+	secInst      = 11 // optional: instance records
+	secInstPath  = 12 // optional: instance path bytes
+
+	v2InstRecSize = 16
 )
 
 // transRec is the fixed-width on-disk transistor record. The field order
@@ -127,6 +136,7 @@ type v2File struct {
 	gateStart, termStart []byte // (nNodes+1) × uint32
 	nameOff              []byte // (nNodes+1) × uint32
 	nameData             []byte
+	inst, instPath       []byte // optional instance sections (may be nil)
 
 	payload    []byte // everything past the section table; see verifyPayload
 	payloadCRC uint32 // stored checksum the payload must match
@@ -238,7 +248,47 @@ func parseV2(data []byte) (*v2File, error) {
 	if v.nameData, err = want(secNameData, -1, "name-data"); err != nil {
 		return nil, err
 	}
+	// The instance sections are optional — written only when the network
+	// carries hierarchy annotations — so their absence is not an error;
+	// unknown section ids beyond these remain tolerated for forward
+	// compatibility.
+	if b, ok := secs[secInst]; ok {
+		if len(b)%v2InstRecSize != 0 {
+			return nil, fmt.Errorf("simx: instance section is %d bytes, not a record multiple", len(b))
+		}
+		if uint64(len(b)/v2InstRecSize) > maxSnapshotCount {
+			return nil, fmt.Errorf("simx: implausible instance count %d", len(b)/v2InstRecSize)
+		}
+		v.inst = b
+		v.instPath = secs[secInstPath] // absent ⇒ every PathEnd must be 0
+	}
 	return v, nil
+}
+
+// buildInstances decodes the optional instance sections into Instance
+// values, validating every record against the transistor count and the
+// path payload. Paths are copied (never zero-copy views): the table is
+// tiny next to the network, and hierarchy consumers outlive mappings.
+func (v *v2File) buildInstances() ([]Instance, error) {
+	if len(v.inst) == 0 {
+		return nil, nil
+	}
+	out := make([]Instance, len(v.inst)/v2InstRecSize)
+	for i := range out {
+		r := v.inst[i*v2InstRecSize:]
+		lo := binary.LittleEndian.Uint32(r[0:4])
+		hi := binary.LittleEndian.Uint32(r[4:8])
+		po := binary.LittleEndian.Uint32(r[8:12])
+		pe := binary.LittleEndian.Uint32(r[12:16])
+		if lo > hi || int(hi) > v.nTrans {
+			return nil, fmt.Errorf("simx: instance %d has transistor range [%d,%d) outside [0,%d)", i, lo, hi, v.nTrans)
+		}
+		if po > pe || uint64(pe) > uint64(len(v.instPath)) {
+			return nil, fmt.Errorf("simx: instance %d has path range [%d,%d) outside the path payload", i, po, pe)
+		}
+		out[i] = Instance{Path: string(v.instPath[po:pe]), TransLo: int(lo), TransHi: int(hi)}
+	}
+	return out, nil
 }
 
 // verifyPayload checks the payload checksum — the one validation pass
@@ -371,6 +421,11 @@ func buildV2(v *v2File, p *tech.Params, zeroCopy bool) (*Network, [32]byte, erro
 		Nodes: make([]*Node, nNodes),
 		Trans: make([]*Trans, nTrans),
 	}
+	insts, instErr := v.buildInstances()
+	if instErr != nil {
+		return nil, v.sourceHash, instErr
+	}
+	nw.Instances = insts
 	trans := make([]Trans, nTrans) // one allocation for all transistors
 	un := uint32(nNodes)
 
@@ -781,6 +836,22 @@ func WriteSnapshotV2(w io.Writer, nw *Network, sourceHash [32]byte) error {
 		{secTermStart, termStart},
 		{secNameOff, nameOff},
 		{secNameData, nameData},
+	}
+	// Instance sections ride behind the fixed ten only when the network
+	// carries hierarchy annotations, so instance-free networks produce
+	// files byte-identical to earlier writers'.
+	if len(nw.Instances) > 0 {
+		instB := make([]byte, v2InstRecSize*len(nw.Instances))
+		var instPathB []byte
+		for i, inst := range nw.Instances {
+			r := instB[v2InstRecSize*i:]
+			binary.LittleEndian.PutUint32(r[0:4], uint32(inst.TransLo))
+			binary.LittleEndian.PutUint32(r[4:8], uint32(inst.TransHi))
+			binary.LittleEndian.PutUint32(r[8:12], uint32(len(instPathB)))
+			instPathB = append(instPathB, inst.Path...)
+			binary.LittleEndian.PutUint32(r[12:16], uint32(len(instPathB)))
+		}
+		secs = append(secs, sec{secInst, instB}, sec{secInstPath, instPathB})
 	}
 	payloadStart := v2HeaderSize + len(secs)*v2SectionSize
 	total := payloadStart

@@ -90,6 +90,11 @@ type metrics struct {
 	analyzesFull   atomic.Int64 // full drains (initial runs and worker-count rebuilds)
 	analyzesCached atomic.Int64 // served straight from the session snapshot
 
+	hierAnalyzes  atomic.Int64 // full drains run with hierarchical analysis on
+	hierInstances atomic.Int64 // cumulative annotated instances those drains detected
+	hierStamped   atomic.Int64 // cumulative instances whose interiors were stamped
+	hierFlat      atomic.Int64 // cumulative instances analyzed flat (with per-instance reasons)
+
 	editBatches      atomic.Int64 // run barriers applied
 	editsIncremental atomic.Int64 // barriers served by the incremental engine
 	editsFull        atomic.Int64 // barriers that fell back to a full drain
@@ -160,6 +165,16 @@ type MetricsSnapshot struct {
 		Full   int64 `json:"full"`
 		Cached int64 `json:"cached"`
 	} `json:"analyze"`
+	// Hier aggregates hierarchical-analysis provenance across every full
+	// analyze the daemon ran with -hier on (all zero with -hier off):
+	// instances detected, instances stamped from a class representative,
+	// instances analyzed flat.
+	Hier struct {
+		Analyzes  int64 `json:"analyzes"`
+		Instances int64 `json:"instances"`
+		Stamped   int64 `json:"stamped"`
+		Flat      int64 `json:"flat"`
+	} `json:"hier"`
 	Edits struct {
 		Batches     int64 `json:"batches"`
 		Incremental int64 `json:"incremental"`
@@ -242,6 +257,10 @@ func (m *metrics) snapshot(live int, arena ArenaStats, jobs jobGauges) MetricsSn
 	s.Snapshots.Writes = m.snapshotWrites.Load()
 	s.Analyze.Full = m.analyzesFull.Load()
 	s.Analyze.Cached = m.analyzesCached.Load()
+	s.Hier.Analyzes = m.hierAnalyzes.Load()
+	s.Hier.Instances = m.hierInstances.Load()
+	s.Hier.Stamped = m.hierStamped.Load()
+	s.Hier.Flat = m.hierFlat.Load()
 	s.Edits.Batches = m.editBatches.Load()
 	s.Edits.Incremental = m.editsIncremental.Load()
 	s.Edits.Full = m.editsFull.Load()

@@ -51,6 +51,13 @@ type Options struct {
 	// every session analyzer (core.Options.NoReorder). Results are
 	// bit-identical either way; cmd/crystald exposes this as -reorder.
 	NoReorder bool
+	// Hier enables hierarchical macromodel analysis in every session
+	// analyzer (core.Options.Hier): replicated instances analyze one
+	// representative and stamp the timing onto the other copies. Results
+	// are bit-identical either way; analyze responses then carry a "hier"
+	// provenance block and /metrics a hier.* section. cmd/crystald
+	// exposes this as -hier.
+	Hier bool
 	// SnapshotDir, when non-empty, enables the .simx warm-start cache:
 	// every parsed session is persisted there keyed by its network
 	// identity (source hash + technology + name), and a later POST of
@@ -295,7 +302,7 @@ func (sv *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if sv.lookup(id) != nil { // hash prefix taken by a diverged session
 		id = fmt.Sprintf("%s.%d", hash[:12], seq)
 	}
-	s, err := newSession(id, cfg, sv.opts.SnapshotDir, sv.opts.DefaultWorkers, sv.opts.NoReorder, sv.arena)
+	s, err := newSession(id, cfg, sv.opts.SnapshotDir, sv.opts.DefaultWorkers, sv.opts.NoReorder, sv.opts.Hier, sv.arena)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
@@ -468,6 +475,13 @@ func (sv *Server) analyzeSession(s *session, req analyzeRequest) (int, any) {
 	dur := time.Since(start)
 	s.a, s.workers = a, workers
 	snap := s.buildSnapshot()
+	if a.Opts.Hier {
+		hs := a.HierStats()
+		sv.m.hierAnalyzes.Add(1)
+		sv.m.hierInstances.Add(int64(hs.Instances))
+		sv.m.hierStamped.Add(int64(hs.Stamped))
+		sv.m.hierFlat.Add(int64(hs.Flat))
+	}
 	sv.m.analyzesFull.Add(1)
 	sv.m.analyzeLatency.observe(dur)
 	sv.m.observeDrain(a.DrainStats()) // fresh analyzer: stats are this run's

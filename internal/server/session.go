@@ -146,6 +146,20 @@ type Snapshot struct {
 	// Truncated / Unbounded mirror the analyzer's honesty flags.
 	Truncated bool     `json:"truncated,omitempty"`
 	Unbounded []string `json:"unbounded,omitempty"`
+	// Hier is the hierarchical-analysis provenance when the server runs
+	// with -hier on: how many annotated instances were detected and how
+	// many had their interiors stamped from a class representative versus
+	// analyzed flat. Absent when hierarchical analysis is off. Counts can
+	// drop to zero after edits — detached instances re-analyze flat.
+	Hier *HierJSON `json:"hier,omitempty"`
+}
+
+// HierJSON is the Snapshot's hierarchical-analysis provenance block
+// (core.HierStats over the wire).
+type HierJSON struct {
+	Instances int `json:"instances"`
+	Stamped   int `json:"stamped"`
+	Flat      int `json:"flat"`
 }
 
 // session is one resident analysis. All mutation happens under mu; snap
@@ -177,6 +191,7 @@ type session struct {
 	a         *core.Analyzer // nil until the first analyze
 	workers   int            // worker count of the current analyzer
 	noReorder bool           // server-wide Options.NoReorder, applied per analyzer
+	hier      bool           // server-wide Options.Hier, applied per analyzer
 	edited    bool           // diverged from the loaded source (edits applied)
 	barriers  int            // run barriers applied over the session lifetime
 	lastEpoch uint64         // stage-DB generation at the last metrics update
@@ -218,8 +233,8 @@ func (s *session) batchEngine() (b *switchsim.Batch, compiled bool) {
 // falls back to a parse. A snapshot is only ever written after the
 // parsed network passed Check, so a snapshot hit skips both the parse
 // and the structural check.
-func newSession(id string, cfg SessionConfig, snapDir string, workers int, noReorder bool, arena *netArena) (*session, error) {
-	s := &session{id: id, hash: cfg.hash(), cfg: cfg, source: "parse", noReorder: noReorder}
+func newSession(id string, cfg SessionConfig, snapDir string, workers int, noReorder, hier bool, arena *netArena) (*session, error) {
+	s := &session{id: id, hash: cfg.hash(), cfg: cfg, source: "parse", noReorder: noReorder, hier: hier}
 	// The retained config drops the .sim source text: it is only needed
 	// below (identity hash + cold parse), and for a chip-scale netlist
 	// the text is tens of megabytes — cached per session, it would
@@ -315,7 +330,7 @@ func loadSessionSnapshot(path, name string, p *tech.Params, simHash [32]byte) (*
 // stage database from a previous analyzer over the same generation.
 // Callers hold s.mu.
 func (s *session) buildAnalyzer(workers int, db *core.Analyzer) (*core.Analyzer, error) {
-	opts := core.Options{Workers: workers, NoReorder: s.noReorder}
+	opts := core.Options{Workers: workers, NoReorder: s.noReorder, Hier: s.hier}
 	if db != nil {
 		opts.DB = db.StageDB()
 	}
@@ -383,6 +398,10 @@ func (s *session) buildSnapshot() *Snapshot {
 	}
 	for _, n := range a.Unbounded {
 		snap.Unbounded = append(snap.Unbounded, n.Name)
+	}
+	if a.Opts.Hier {
+		hs := a.HierStats()
+		snap.Hier = &HierJSON{Instances: hs.Instances, Stamped: hs.Stamped, Flat: hs.Flat}
 	}
 	var b strings.Builder
 	st := a.Net.Stats()

@@ -405,6 +405,17 @@ func channelGroup(nw *netlist.Network, t *netlist.Trans, oracle Oracle) []*netli
 // member, and fan-out stages for every input with channel terminals.
 // Prewarming is optional — entries not built here are still built lazily.
 func (db *DB) Prewarm(workers int) {
+	db.PrewarmMasked(workers, nil, nil)
+}
+
+// PrewarmMasked is Prewarm with a skip mask: transistors with
+// skipTrans[i] true and inputs with skipNode[idx] true are left unbuilt.
+// The hierarchical analyzer passes the devices and member-local inputs of
+// stamped instances — their consequence lists are never consulted during
+// a stamped drain, and on chip-scale grids they are the bulk of the
+// enumeration cost and memory. Skipped entries still build lazily if an
+// instance later detaches to flat analysis.
+func (db *DB) PrewarmMasked(workers int, skipTrans, skipNode []bool) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -425,6 +436,9 @@ func (db *DB) Prewarm(workers int) {
 				if i >= len(db.nw.Trans) {
 					return
 				}
+				if skipTrans != nil && skipTrans[i] {
+					continue
+				}
 				t := db.nw.Trans[i]
 				if t.AlwaysOn() {
 					continue
@@ -436,6 +450,9 @@ func (db *DB) Prewarm(workers int) {
 	}
 	wg.Wait()
 	for _, n := range db.nw.Inputs() {
+		if skipNode != nil && skipNode[n.Index] {
+			continue
+		}
 		if len(n.Terms) > 0 {
 			for _, tr := range []tech.Transition{tech.Rise, tech.Fall} {
 				db.From(n, tr)

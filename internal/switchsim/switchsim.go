@@ -192,9 +192,10 @@ type Sim struct {
 	settle int        // settle calls, for diagnostics
 
 	// scratch reused across Settle calls
-	dirty   []bool
-	queue   []int
-	groupID []int
+	dirty      []bool
+	queue      []int
+	groupID    []int // epoch stamp per node; == groupEpoch means visited this sweep
+	groupEpoch int
 }
 
 // New creates a simulator with rails at their fixed values and every other
@@ -374,7 +375,12 @@ func (s *Sim) Settle() int {
 		}
 		// A dirty node re-resolves (a) channel groups containing or
 		// adjacent to it and (b) the channels of every transistor it
-		// gates, whose conduction may have changed.
+		// gates, whose conduction may have changed. A gated channel
+		// endpoint that is itself a strong source (a pullup's rail side)
+		// contributes no group of its own — the affected group is reached
+		// through the device's other terminal, so only that side seeds.
+		// Seeding the rail instead would re-scan the rail's entire
+		// terminal list, which is nearly the whole chip, every sweep.
 		work := s.queue
 		s.queue = nil
 		seeds := make([]int, 0, 2*len(work))
@@ -382,7 +388,13 @@ func (s *Sim) Settle() int {
 			s.dirty[idx] = false
 			seeds = append(seeds, idx)
 			for _, t := range s.nw.Nodes[idx].Gates {
-				seeds = append(seeds, t.A.Index, t.B.Index)
+				a, b := t.A.Index, t.B.Index
+				if !s.nw.Nodes[a].IsRail() && !s.fixed[a] {
+					seeds = append(seeds, a)
+				}
+				if !s.nw.Nodes[b].IsRail() && !s.fixed[b] {
+					seeds = append(seeds, b)
+				}
 			}
 		}
 		for _, ch := range s.resolveGroups(seeds) {
@@ -410,11 +422,11 @@ func (s *Sim) Settle() int {
 // sweep state, and returns the proposed value changes. Nothing is written
 // back here — the caller commits after the whole sweep resolves.
 func (s *Sim) resolveGroups(seeds []int) []change {
-	for i := range s.groupID {
-		s.groupID[i] = -1
-	}
+	// Visited marks are epoch-stamped: bumping the epoch invalidates every
+	// mark from the previous sweep in O(1), where clearing the array would
+	// cost a full-network scan per sweep.
+	s.groupEpoch++
 	var changed []change
-	gid := 0
 	for _, seed := range seeds {
 		n := s.nw.Nodes[seed]
 		if n.IsRail() || s.fixed[seed] {
@@ -423,31 +435,30 @@ func (s *Sim) resolveGroups(seeds []int) []change {
 			// own (which would be just itself).
 			for _, t := range n.Terms {
 				o := t.Other(n)
-				if o == nil || s.groupID[o.Index] != -1 ||
+				if o == nil || s.groupID[o.Index] == s.groupEpoch ||
 					o.IsRail() || s.fixed[o.Index] {
 					continue
 				}
-				group := s.collectGroup(o.Index, gid)
-				gid++
+				group := s.collectGroup(o.Index)
 				changed = append(changed, s.resolveGroup(group)...)
 			}
 			continue
 		}
-		if s.groupID[seed] != -1 {
+		if s.groupID[seed] == s.groupEpoch {
 			continue
 		}
-		group := s.collectGroup(seed, gid)
-		gid++
+		group := s.collectGroup(seed)
 		changed = append(changed, s.resolveGroup(group)...)
 	}
 	return changed
 }
 
 // collectGroup gathers the channel-connected component of seed through
-// transistors that are not definitely off, tagging members with gid.
-func (s *Sim) collectGroup(seed, gid int) []int {
+// transistors that are not definitely off, stamping members with the
+// current epoch so overlapping seeds resolve each group once per sweep.
+func (s *Sim) collectGroup(seed int) []int {
 	stack := []int{seed}
-	s.groupID[seed] = gid
+	s.groupID[seed] = s.groupEpoch
 	var group []int
 	for len(stack) > 0 {
 		idx := stack[len(stack)-1]
@@ -464,10 +475,10 @@ func (s *Sim) collectGroup(seed, gid int) []int {
 				continue
 			}
 			o := t.Other(n)
-			if o == nil || s.groupID[o.Index] != -1 {
+			if o == nil || s.groupID[o.Index] == s.groupEpoch {
 				continue
 			}
-			s.groupID[o.Index] = gid
+			s.groupID[o.Index] = s.groupEpoch
 			stack = append(stack, o.Index)
 		}
 	}

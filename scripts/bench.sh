@@ -10,7 +10,9 @@
 # BENCH_5.json, the batch-sim throughput record into BENCH_6.json, the
 # chip-scale mmap ingest + shared-view RSS record into BENCH_7.json, and
 # the crystald service saturation curves (cmd/loadgen concurrency ramp
-# with response validation) into BENCH_8.json. Every file is stamped
+# with response validation) into BENCH_8.json, and the hierarchical-
+# macromodel record (interleaved hier A/B on E6-XL plus the chip:64,40
+# scale point) into BENCH_9.json. Every file is stamped
 # with the machine (nproc, CPU
 # model, GOMAXPROCS) so numbers are never compared across incomparable
 # hardware. The scaling sweeps refuse to run on a single-CPU box unless
@@ -20,6 +22,8 @@
 # Usage: scripts/bench.sh (from the repo root, or via `make bench`).
 #   BENCH_ONLY=scaling     skip BENCH_1/BENCH_2 (the `make bench-scaling`
 #                          target: sweeps + locality record only).
+#   BENCH_ONLY=hier        run only BENCH_9 (the `make bench-hier`
+#                          target: hierarchical-macromodel record).
 #   BENCH_MAIN_BIN=path    a bench test binary built from the comparison
 #                          commit (`go test -c -o bench_main .` there);
 #                          when set, BENCH_5 gains an interleaved
@@ -40,7 +44,7 @@ cpu_model=$(sed -n 's/^model name[ 	]*: *//p' /proc/cpuinfo 2>/dev/null | head -
 MACHINE=$(printf '{"nproc": %s, "gomaxprocs": %s, "cpu_model": "%s"}' \
     "$procs" "$sweep_procs" "$cpu_model")
 
-if [ "${BENCH_ONLY:-all}" != scaling ]; then
+if [ "${BENCH_ONLY:-all}" = all ]; then
 
 OUT=BENCH_1.json
 go test -run '^$' -bench 'BenchmarkE2ModelAccuracy$|BenchmarkE6ChipScale$' \
@@ -290,7 +294,9 @@ rm -f "$RAW.loadgen"
 echo "wrote $OUT8"
 cat "$OUT8"
 
-fi # BENCH_ONLY != scaling
+fi # BENCH_ONLY = all
+
+if [ "${BENCH_ONLY:-all}" != hier ]; then
 
 # Scaling sweeps (BENCH_3, BENCH_4, BENCH_5) are meaningless on one CPU:
 # every workers>1 row then measures pure coordination overhead, and a
@@ -567,3 +573,89 @@ END {
 
 echo "wrote $OUT5"
 cat "$OUT5"
+
+fi # BENCH_ONLY != hier
+
+# BENCH_9.json: the hierarchical-macromodel record (`make bench-hier` runs
+# only this section via BENCH_ONLY=hier). Two sections from the same tree:
+#   hier_ab — BenchmarkE6HierAB, the interleaved single-worker A/B of
+#             hierarchical stamping vs flat analysis on the E6-XL
+#             replicated-tile chip (chip:32,10): per-side median wall,
+#             wall speedup, and the deterministic stage-evaluation
+#             reduction (stamped tile interiors evaluate zero stages —
+#             the hardware-independent form of the macromodel win);
+#   xl      — BenchmarkHierXL, the chip:64,40 (~2.4M transistor) scale
+#             point analyzed hier-on at full parallelism: wall time and
+#             live heap after the run, the RSS-sublinearity evidence.
+# The stamped-speedup floor (stage_reduction >= 5 on E6-XL) is
+# informational: a shortfall warns in the log but does not fail the run.
+if [ "${BENCH_ONLY:-all}" != scaling ]; then
+
+OUT9=BENCH_9.json
+GOMAXPROCS=$sweep_procs go test -run '^$' -bench 'BenchmarkE6HierAB$' \
+    -benchtime 3x -count 1 -timeout 60m . | tee "$RAW"
+GOMAXPROCS=$sweep_procs go test -run '^$' -bench 'BenchmarkHierXL$' \
+    -benchtime 1x -count 1 -timeout 60m . | tee -a "$RAW"
+
+awk '
+/^BenchmarkE6HierAB/ {
+    for (i = 5; i < NF; i += 2) {
+        if ($(i + 1) == "ns-hier-on")      abon = abon $i ","
+        if ($(i + 1) == "ns-hier-off")     aboff = aboff $i ","
+        if ($(i + 1) == "speedup")         absp = absp $i ","
+        if ($(i + 1) == "stage-reduction") abst = abst $i ","
+        if ($(i + 1) == "instances")       abinst = $i
+        if ($(i + 1) == "stamped")         abstamp = $i
+        if ($(i + 1) == "transistors")     abtrans = $i
+    }
+}
+/^BenchmarkHierXL/ {
+    xlns = $3
+    for (i = 5; i < NF; i += 2) {
+        if ($(i + 1) == "transistors") xltrans = $i
+        if ($(i + 1) == "instances")   xlinst = $i
+        if ($(i + 1) == "stamped")     xlstamp = $i
+        if ($(i + 1) == "heapMB")      xlheap = $i
+    }
+}
+function median(csv,   r, n, i, j, t) {
+    sub(/,$/, "", csv)
+    n = split(csv, r, ",")
+    for (i = 1; i < n; i++)
+        for (j = i + 1; j <= n; j++)
+            if (r[j] + 0 < r[i] + 0) { t = r[i]; r[i] = r[j]; r[j] = t }
+    return r[int((n + 1) / 2)]
+}
+END {
+    sr = median(abst) + 0
+    printf "{\n  \"benchmark\": \"hier_macromodel\",\n"
+    printf "  \"machine\": %s,\n", machine
+    printf "  \"hier_ab\": {\n"
+    printf "    \"interleaved\": true,\n"
+    printf "    \"workload\": \"chip:32,10\",\n"
+    printf "    \"transistors\": %s,\n", abtrans
+    printf "    \"instances\": %s,\n", abinst
+    printf "    \"stamped\": %s,\n", abstamp
+    printf "    \"median_ns_hier_on\": %s,\n", median(abon)
+    printf "    \"median_ns_hier_off\": %s,\n", median(aboff)
+    printf "    \"wall_speedup\": %.2f,\n", median(absp) + 0
+    printf "    \"stage_reduction\": %.2f,\n", sr
+    printf "    \"stamped_speedup_floor\": 5.0,\n"
+    printf "    \"floor_met\": %s\n", (sr >= 5.0 ? "true" : "false")
+    printf "  },\n"
+    printf "  \"xl\": {\n"
+    printf "    \"workload\": \"chip:64,40\",\n"
+    printf "    \"transistors\": %s,\n", xltrans
+    printf "    \"instances\": %s,\n", xlinst
+    printf "    \"stamped\": %s,\n", xlstamp
+    printf "    \"wall_ns\": %s,\n", xlns
+    printf "    \"live_heap_mb\": %s\n", xlheap
+    printf "  }\n}\n"
+    if (sr < 5.0)
+        printf "bench.sh: WARNING: stage_reduction %.2f is below the informational 5.0 floor\n", sr > "/dev/stderr"
+}' machine="$MACHINE" "$RAW" > "$OUT9"
+
+echo "wrote $OUT9"
+cat "$OUT9"
+
+fi # BENCH_ONLY != scaling
